@@ -1,0 +1,79 @@
+// Shared helpers for the reproduction benches: minimal command-line options
+// and consistent headers.  Every bench prints the paper artifact it
+// regenerates, the configuration, and a verification verdict where the paper
+// states exact facts.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace rdtgc::bench {
+
+/// Tiny --key=value option parser (unknown keys are rejected).
+class Options {
+ public:
+  Options(int argc, char** argv, std::vector<std::string> known) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--csv") {
+        csv_ = true;
+        continue;
+      }
+      const auto eq = arg.find('=');
+      bool ok = false;
+      if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+        const std::string key = arg.substr(2, eq - 2);
+        for (const auto& k : known) {
+          if (k == key) {
+            values_[key] = arg.substr(eq + 1);
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        std::cerr << "unknown option: " << arg << "\nknown:";
+        for (const auto& k : known) std::cerr << " --" << k << "=...";
+        std::cerr << " --csv\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+  bool csv() const { return csv_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool csv_ = false;
+};
+
+inline void emit(const util::Table& table, const std::string& title,
+                 bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout, title);
+  }
+  std::cout << "\n";
+}
+
+inline void banner(const std::string& what) {
+  std::cout << "=== " << what << " ===\n";
+}
+
+inline void verdict(bool ok, const std::string& claim) {
+  std::cout << (ok ? "[VERIFIED] " : "[MISMATCH] ") << claim << "\n";
+}
+
+}  // namespace rdtgc::bench

@@ -1,0 +1,85 @@
+// Figure 3 reproduction: recovery-line determination for F = {p2, p3} and
+// the Theorem-1 obsolete set.
+//
+// Paper facts verified (on the DESIGN.md reconstruction):
+//  * exactly five obsolete checkpoints in the drawn window:
+//    {c_2^7, c_2^9, c_3^8, c_4^6, c_4^8};
+//  * s_3^last is not part of R_F because s_2^last → s_3^last;
+//  * the Lemma-1 recovery line agrees with the generic R-graph algorithm.
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/figures.hpp"
+
+using namespace rdtgc;
+
+int main(int argc, char** argv) {
+  const bench::Options options(argc, argv, {});
+  bench::banner("Figure 3: recovery-line determination, F = {p2, p3}");
+
+  auto scenario = harness::figures::figure3();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  const std::vector<bool> faulty = {false, true, true, false};
+  const auto line = ccp::recovery_line_lemma1(recorder, causal, faulty);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+
+  const std::vector<CheckpointIndex> window_start = {8, 7, 7, 6};
+  util::Table table({"process", "window", "obsolete (Thm 1)",
+                     "gray (preceded by slast2/slast3)", "R_F member"});
+  for (ProcessId p = 0; p < 4; ++p) {
+    const CheckpointIndex last = recorder.last_stable(p);
+    std::string window = "c^" +
+                         std::to_string(window_start[static_cast<std::size_t>(p)]) +
+                         "..c^" + std::to_string(last) + ",v";
+    std::string obs, gray;
+    for (CheckpointIndex g = window_start[static_cast<std::size_t>(p)];
+         g <= last + 1; ++g) {
+      const bool is_volatile = g > last;
+      if (!is_volatile &&
+          obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)])
+        obs += (obs.empty() ? "" : " ") + std::string("c^") + std::to_string(g);
+      const bool g_gray = causal.precedes(1, 10, p, g) ||
+                          causal.precedes(2, 10, p, g);
+      if (g_gray)
+        gray += (gray.empty() ? "" : " ") + std::string(is_volatile ? "v" : "c^" + std::to_string(g));
+    }
+    const CheckpointIndex member = line[static_cast<std::size_t>(p)];
+    table.begin_row()
+        .add_cell("p" + std::to_string(p + 1))
+        .add_cell(window)
+        .add_cell(obs.empty() ? "-" : obs)
+        .add_cell(gray.empty() ? "-" : gray)
+        .add_cell(member > last ? "v" : "c^" + std::to_string(member));
+  }
+  bench::emit(table, "per-process window status (paper labels, 1-based)",
+              options.csv());
+
+  // Verification of the stated facts.
+  const std::set<std::pair<ProcessId, CheckpointIndex>> expected = {
+      {1, 7}, {1, 9}, {2, 8}, {3, 6}, {3, 8}};
+  std::set<std::pair<ProcessId, CheckpointIndex>> actual;
+  for (ProcessId p = 0; p < 4; ++p)
+    for (CheckpointIndex g = window_start[static_cast<std::size_t>(p)];
+         g <= recorder.last_stable(p); ++g)
+      if (obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)])
+        actual.insert({p, g});
+  bench::verdict(actual == expected,
+                 "exactly five obsolete checkpoints: c_2^7 c_2^9 c_3^8 c_4^6 "
+                 "c_4^8 (paper labels)");
+  bench::verdict(causal.precedes(1, 10, 2, 10),
+                 "slast3 excluded from R_F because slast2 -> slast3");
+  const bool line_ok = line == std::vector<CheckpointIndex>{9, 10, 9, 7};
+  bench::verdict(line_ok, "R_F = {v1, slast2, c_3^9, c_4^7}");
+  bench::verdict(zigzag.recovery_line(faulty) == line,
+                 "Lemma 1 line == generic R-graph rollback propagation");
+  bench::verdict(
+      ccp::is_consistent_global_checkpoint(recorder, causal, line),
+      "R_F is a consistent global checkpoint");
+  return (actual == expected && line_ok) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Figure 4 reproduction: an execution of RDT-LGC with the DV/UC state
+// printed after every event, in the paper's notation (DV next to UC, "*"
+// for Null references).
+//
+// Paper facts verified (outcome-exact reconstruction, see DESIGN.md):
+//  * checkpoints s_2^2, s_3^1, s_3^2 are eliminated during the run;
+//  * the only obsolete-but-retained checkpoint is s_2^1 — kept because p2
+//    does not know that p3 has taken checkpoints after s_3^1 (the
+//    irreducible cost of asynchrony, Theorem 5).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "harness/figures.hpp"
+
+using namespace rdtgc;
+
+int main(int argc, char** argv) {
+  const bench::Options options(argc, argv, {});
+  bench::banner("Figure 4: RDT-LGC execution trace");
+
+  util::Table trace({"step", "p1 DV / UC", "p2 DV / UC", "p3 DV / UC"});
+  auto observer = [&trace](harness::Scenario& scenario,
+                           const std::string& step) {
+    trace.begin_row().add_cell(step);
+    for (ProcessId p = 0; p < 3; ++p) {
+      trace.add_cell(scenario.node(p).dv().to_string() + " / " +
+                     scenario.system().rdt_lgc(p).uc().to_string());
+    }
+  };
+  auto scenario = harness::figures::figure4(observer);
+  bench::emit(trace, "event-by-event DV / UC (paper notation, * = Null)",
+              options.csv());
+
+  // Verification.
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+  const bool collected_ok =
+      scenario->node(1).store().stored_indices() ==
+          std::vector<CheckpointIndex>{0, 1, 3} &&
+      scenario->node(2).store().stored_indices() ==
+          std::vector<CheckpointIndex>{0, 3};
+  bench::verdict(collected_ok,
+                 "s_2^2, s_3^1, s_3^2 eliminated by RDT-LGC (paper labels)");
+  std::size_t obsolete_retained = 0;
+  bool s21_retained_obsolete = false;
+  for (ProcessId p = 0; p < 3; ++p)
+    for (const CheckpointIndex g : scenario->node(p).store().stored_indices())
+      if (g <= recorder.last_stable(p) &&
+          obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)]) {
+        ++obsolete_retained;
+        s21_retained_obsolete = (p == 1 && g == 1);
+      }
+  bench::verdict(obsolete_retained == 1 && s21_retained_obsolete,
+                 "the only obsolete-but-retained checkpoint is s_2^1");
+  std::cout << "p2's knowledge of p3: interval " << scenario->node(1).dv()[2]
+            << " (p3 is at " << scenario->node(2).dv()[2]
+            << ") — the stale knowledge that forces the retention\n";
+  return (collected_ok && obsolete_retained == 1) ? 0 : 1;
+}

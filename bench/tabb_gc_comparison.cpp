@@ -1,0 +1,133 @@
+// T-B: RDT-LGC versus the synchronous collectors of the related work (§5)
+// and the Theorem-1 oracle.
+//
+// Same workload and seed for every strategy.  Reported: mean/final global
+// storage, checkpoints collected, control messages, and the optimality gap
+// against the instantaneous Theorem-1 oracle.  RDT-LGC's gap is exactly the
+// checkpoints whose obsolescence is not yet causally visible (Theorem 5 says
+// no asynchronous collector can do better); the synchronous collectors close
+// that gap by paying control traffic.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "gc/oracle_gc.hpp"
+#include "gc/synchronous_gc.hpp"
+#include "harness/system.hpp"
+#include "metrics/storage_probe.hpp"
+#include "workload/workload.hpp"
+
+using namespace rdtgc;
+
+namespace {
+
+struct Result {
+  std::string name;
+  double mean_storage = 0;
+  std::size_t final_storage = 0;
+  std::uint64_t collected = 0;
+  std::uint64_t control_messages = 0;
+  std::size_t oracle_final = 0;  // storage after a Theorem-1 sweep at the end
+};
+
+Result run_strategy(int strategy, std::size_t n, SimTime duration,
+                    std::uint64_t seed) {
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = (strategy == 1) ? harness::GcChoice::kRdtLgc
+                              : harness::GcChoice::kNone;
+  config.seed = seed;
+  harness::System system(config);
+
+  workload::WorkloadConfig wl;
+  wl.seed = seed;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(duration);
+  metrics::StorageProbe probe(system.simulator(),
+                              std::as_const(system).node_ptrs());
+  probe.start(50, duration);
+
+  std::unique_ptr<gc::SynchronousGcDriver> sync;
+  if (strategy == 2 || strategy == 3) {
+    gc::SynchronousGcDriver::Config sc;
+    sc.policy = (strategy == 2) ? gc::SyncGcPolicy::kWangTheorem1
+                                : gc::SyncGcPolicy::kRecoveryLine;
+    sc.period = 250;
+    sc.notify_delay = 10;
+    sync = std::make_unique<gc::SynchronousGcDriver>(
+        system.simulator(), system.recorder(), system.node_ptrs(), sc);
+    sync->start(duration);
+  }
+  gc::OracleGcDriver oracle(system.recorder(), system.node_ptrs());
+  // Instantaneous oracle: sweep every 50 ticks with zero latency.  `tick`
+  // must outlive the scheduled events, hence function scope.
+  std::function<void()> tick = [&] {
+    oracle.sweep();
+    if (system.simulator().now() + 50 <= duration)
+      system.simulator().after(50, tick);
+  };
+  if (strategy == 4) system.simulator().after(50, tick);
+  system.simulator().run();
+
+  Result result;
+  switch (strategy) {
+    case 0: result.name = "none"; break;
+    case 1: result.name = "RDT-LGC (asynchronous)"; break;
+    case 2: result.name = "coordinated-Wang95"; break;
+    case 3: result.name = "recovery-line"; break;
+    case 4: result.name = "oracle (Theorem 1)"; break;
+  }
+  result.mean_storage = probe.global_series().stat().mean();
+  result.final_storage = system.total_stored();
+  result.collected = system.total_collected();
+  if (sync) result.control_messages = sync->stats().control_messages;
+  // Optimality gap: what a final instantaneous Theorem-1 sweep would remove.
+  gc::OracleGcDriver final_sweep(system.recorder(), system.node_ptrs());
+  final_sweep.sweep();
+  result.oracle_final = system.total_stored();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options(argc, argv, {"n", "duration", "seed"});
+  const std::size_t n = options.u64("n", 8);
+  const SimTime duration = options.u64("duration", 20000);
+  const std::uint64_t seed = options.u64("seed", 7);
+  bench::banner("T-B: garbage-collection strategies compared");
+
+  util::Table table({"strategy", "mean storage", "final storage", "collected",
+                     "control msgs", "gap vs Thm-1 final"});
+  std::vector<Result> results;
+  for (int strategy = 0; strategy <= 4; ++strategy) {
+    results.push_back(run_strategy(strategy, n, duration, seed));
+    const Result& r = results.back();
+    table.begin_row()
+        .add_cell(r.name)
+        .add_cell(r.mean_storage)
+        .add_cell(r.final_storage)
+        .add_cell(r.collected)
+        .add_cell(r.control_messages)
+        .add_cell(static_cast<std::uint64_t>(r.final_storage -
+                                             r.oracle_final));
+  }
+  bench::emit(table,
+              "n=" + std::to_string(n) + " duration=" + std::to_string(duration),
+              options.csv());
+
+  const bool shape_ok =
+      results[1].final_storage <= results[0].final_storage / 2 &&  // reclaims
+      results[4].final_storage <= results[1].final_storage &&      // oracle best
+      results[1].control_messages == 0 &&                          // async
+      results[2].control_messages > 0;
+  bench::verdict(shape_ok,
+                 "RDT-LGC reclaims most storage with ZERO control messages; "
+                 "synchronous collectors close the residual gap at O(n) "
+                 "messages per round");
+  std::cout << "note: the coordinated baseline is idealized (instantaneous "
+               "consistent snapshots) — its best case, per DESIGN.md.\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// T-C: forced-checkpoint cost of the RDT protocols (§2.3, related work
+// [19, 20]).  FDI forces on every dependency-bearing receive, FDAS only
+// after a send, MRS on every receive-after-send.  The ordering
+// FDAS <= min(FDI, MRS) on identical workloads is the expected shape.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/system.hpp"
+#include "workload/workload.hpp"
+
+using namespace rdtgc;
+
+int main(int argc, char** argv) {
+  const bench::Options options(argc, argv, {"n", "duration", "seed"});
+  const std::size_t n = options.u64("n", 8);
+  const SimTime duration = options.u64("duration", 20000);
+  const std::uint64_t seed = options.u64("seed", 3);
+  bench::banner("T-C: forced checkpoints per RDT protocol");
+
+  util::Table table({"workload", "protocol", "basic", "forced",
+                     "forced/recv", "total ckpts", "stored at end"});
+  std::map<std::string, std::map<std::string, std::uint64_t>> forced_by;
+  for (const auto kind :
+       {workload::WorkloadKind::kUniform, workload::WorkloadKind::kRing,
+        workload::WorkloadKind::kClientServer,
+        workload::WorkloadKind::kBroadcast}) {
+    for (const auto protocol :
+         {ckpt::ProtocolKind::kFdi, ckpt::ProtocolKind::kFdas,
+          ckpt::ProtocolKind::kMrs}) {
+      harness::SystemConfig config;
+      config.process_count = n;
+      config.protocol = protocol;
+      config.gc = harness::GcChoice::kRdtLgc;
+      config.seed = seed;
+      harness::System system(config);
+      workload::WorkloadConfig wl;
+      wl.kind = kind;
+      wl.seed = seed;  // identical workload for all three protocols
+      workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                      wl);
+      driver.start(duration);
+      system.simulator().run();
+
+      std::uint64_t basic = 0, forced = 0, received = 0;
+      for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+        basic += system.node(p).counters().basic_checkpoints;
+        forced += system.node(p).counters().forced_checkpoints;
+        received += system.node(p).counters().messages_received;
+      }
+      forced_by[workload::workload_kind_name(kind)]
+               [ckpt::protocol_kind_name(protocol)] = forced;
+      table.begin_row()
+          .add_cell(workload::workload_kind_name(kind))
+          .add_cell(ckpt::protocol_kind_name(protocol))
+          .add_cell(basic)
+          .add_cell(forced)
+          .add_cell(static_cast<double>(forced) /
+                        static_cast<double>(received),
+                    3)
+          .add_cell(basic + forced + n)
+          .add_cell(system.total_stored());
+    }
+  }
+  bench::emit(table, "n=" + std::to_string(n), options.csv());
+
+  bool fdas_cheapest = true;
+  for (const auto& [workload_name, per_protocol] : forced_by)
+    fdas_cheapest = fdas_cheapest &&
+                    per_protocol.at("FDAS") <= per_protocol.at("FDI") &&
+                    per_protocol.at("FDAS") <= per_protocol.at("MRS");
+  bench::verdict(fdas_cheapest,
+                 "FDAS takes the fewest forced checkpoints on every workload");
+  return fdas_cheapest ? 0 : 1;
+}

@@ -1,0 +1,181 @@
+// T-D: micro-benchmarks for the complexity claims of §4.5.
+//
+//  * all Algorithm-1 procedures are O(1); the receive/checkpoint handlers
+//    are O(n) dominated by dependency-vector propagation;
+//  * the Algorithm-3 rollback rebuild is O(n log n) with binary search over
+//    the stored checkpoints, versus O(n^2) for the linear scan;
+//  * the offline analyses (R-graph construction, Lemma-1 lines, Theorem-1
+//    characterization) scale with the recorded history.
+#include <benchmark/benchmark.h>
+
+#include "causality/dependency_vector.hpp"
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "core/rdt_lgc.hpp"
+#include "core/uc_table.hpp"
+#include "harness/system.hpp"
+#include "workload/workload.hpp"
+
+using namespace rdtgc;
+
+namespace {
+
+void BM_DvMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  causality::DependencyVector mine(n), msg(n);
+  for (std::size_t j = 0; j < n; ++j) msg.at(static_cast<ProcessId>(j)) = 1;
+  for (auto _ : state) {
+    causality::DependencyVector dv = mine;
+    benchmark::DoNotOptimize(dv.merge(msg));
+  }
+}
+BENCHMARK(BM_DvMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_UcTableReleaseLink(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::UcTable table(n, [](CheckpointIndex) {});
+  table.new_ccb(0, 0);
+  for (auto _ : state) {
+    // Algorithm 2's receive pair on a rotating peer: O(1) each (§4.5).
+    for (ProcessId j = 1; j < static_cast<ProcessId>(n); ++j) {
+      table.release(j);
+      table.link(j, 0);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_UcTableReleaseLink)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CheckpointPath(benchmark::State& state) {
+  // Full middleware checkpoint operation (store + GC hook + DV increment).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.network.manual = true;
+  config.gc = harness::GcChoice::kRdtLgc;
+  harness::System system(config);
+  for (auto _ : state) system.node(0).take_basic_checkpoint();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckpointPath)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ReceivePath(benchmark::State& state) {
+  // Checkpoint at the sender + send + delivery at the receiver: the
+  // receiver-side work is the paper's O(n) receive handler with a fresh
+  // dependency every time.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.network.manual = true;
+  config.gc = harness::GcChoice::kRdtLgc;
+  harness::System system(config);
+  for (auto _ : state) {
+    system.node(1).take_basic_checkpoint();
+    const auto id = system.node(1).send_app_message(0);
+    system.network().deliver_now(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReceivePath)->Arg(4)->Arg(16)->Arg(64);
+
+void rollback_setup(std::size_t n, ckpt::CheckpointStore& store,
+                    core::RdtLgc& lgc) {
+  lgc.initialize(0, n, store);
+  for (std::size_t k = 0; k < n; ++k) {
+    causality::DependencyVector dv(n);
+    // dv[f] jumps from 0 to 2 after index f: each peer pins a distinct
+    // checkpoint, the worst case for the rebuild.
+    for (ProcessId f = 1; f < static_cast<ProcessId>(n); ++f)
+      dv.at(f) = (static_cast<ProcessId>(k) > f) ? 2 : 0;
+    store.put(ckpt::StoredCheckpoint{static_cast<CheckpointIndex>(k), dv, 0, 1});
+    lgc.on_checkpoint_stored(static_cast<CheckpointIndex>(k));
+    // A fresh dependency from a distinct peer pins this checkpoint, so the
+    // store keeps all n checkpoints (the Figure-5 worst case).
+    if (k + 1 < n) lgc.on_new_dependency(static_cast<ProcessId>(k + 1));
+  }
+}
+
+void BM_RollbackRebuild(benchmark::State& state, core::RdtLgc::RollbackSearch
+                                                     search) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::CheckpointStore store(0);
+  core::RdtLgc lgc(search);
+  rollback_setup(n, store, lgc);
+  causality::DependencyVector dv(n);
+  for (ProcessId f = 0; f < static_cast<ProcessId>(n); ++f) dv.at(f) = 1;
+  const ckpt::RollbackInfo info{static_cast<CheckpointIndex>(n - 1),
+                                std::nullopt};
+  lgc.on_rollback(info, dv);  // warm-up: reach the steady pinned state
+  for (auto _ : state) lgc.on_rollback(info, dv);
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_RollbackBinary(benchmark::State& state) {
+  BM_RollbackRebuild(state, core::RdtLgc::RollbackSearch::kBinary);
+}
+void BM_RollbackLinear(benchmark::State& state) {
+  BM_RollbackRebuild(state, core::RdtLgc::RollbackSearch::kLinear);
+}
+BENCHMARK(BM_RollbackBinary)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_RollbackLinear)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// One recorded history shared by the analysis benchmarks.
+const harness::System& recorded_run() {
+  static harness::System* system = [] {
+    auto* s = new harness::System([] {
+      harness::SystemConfig config;
+      config.process_count = 8;
+      config.gc = harness::GcChoice::kNone;
+      return config;
+    }());
+    workload::WorkloadConfig wl;
+    workload::WorkloadDriver driver(s->simulator(), s->node_ptrs(), wl);
+    driver.start(4000);
+    s->simulator().run();
+    return s;
+  }();
+  return *system;
+}
+
+void BM_ZigzagAnalysisBuild(benchmark::State& state) {
+  const auto& system = recorded_run();
+  for (auto _ : state) {
+    ccp::ZigzagAnalysis zigzag(system.recorder());
+    benchmark::DoNotOptimize(zigzag.node_count());
+  }
+}
+BENCHMARK(BM_ZigzagAnalysisBuild);
+
+void BM_CausalGraphBuild(benchmark::State& state) {
+  const auto& system = recorded_run();
+  for (auto _ : state) {
+    ccp::CausalGraph causal(system.recorder());
+    benchmark::DoNotOptimize(&causal);
+  }
+}
+BENCHMARK(BM_CausalGraphBuild);
+
+void BM_RecoveryLineLemma1(benchmark::State& state) {
+  const auto& system = recorded_run();
+  const ccp::DvPrecedence causal(system.recorder());
+  std::vector<bool> faulty(8, false);
+  faulty[3] = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ccp::recovery_line_lemma1(system.recorder(), causal, faulty));
+}
+BENCHMARK(BM_RecoveryLineLemma1);
+
+void BM_Theorem1Characterization(benchmark::State& state) {
+  const auto& system = recorded_run();
+  const ccp::DvPrecedence causal(system.recorder());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ccp::obsolete_theorem1(system.recorder(), causal));
+}
+BENCHMARK(BM_Theorem1Characterization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// The motivating scenario of the paper's introduction: autonomous
+// (uncoordinated) checkpointing suffers the domino effect — one failure can
+// roll the whole application back to its initial state — while a
+// communication-induced RDT protocol bounds the damage with a few forced
+// checkpoints.
+//
+// Replays the paper's Figure 2 ping-pong pattern at adjustable depth under
+// both protocols and computes the recovery line a failure of p1 would need.
+#include <iostream>
+
+#include "ccp/zigzag.hpp"
+#include "harness/figures.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdtgc;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 16;
+
+  util::Table table({"protocol", "checkpoints", "useless", "forced",
+                     "recovery line (p1 fails)", "work lost"});
+  for (const auto protocol :
+       {ckpt::ProtocolKind::kUncoordinated, ckpt::ProtocolKind::kFdas}) {
+    auto scenario = harness::figures::figure2(protocol, rounds);
+    const auto& recorder = scenario->recorder();
+    const ccp::ZigzagAnalysis zigzag(recorder);
+    const auto line = zigzag.recovery_line({true, false});
+
+    std::size_t checkpoints = 0;
+    std::uint64_t rolled_back = 0, forced = 0;
+    for (ProcessId p = 0; p < 2; ++p) {
+      checkpoints += static_cast<std::size_t>(recorder.last_stable(p)) + 1;
+      rolled_back += static_cast<std::uint64_t>(
+          recorder.last_stable(p) + 1 - line[static_cast<std::size_t>(p)]);
+      forced += scenario->node(p).counters().forced_checkpoints;
+    }
+    table.begin_row()
+        .add_cell(ckpt::protocol_kind_name(protocol))
+        .add_cell(checkpoints)
+        .add_cell(zigzag.useless_stable_checkpoints().size())
+        .add_cell(forced)
+        .add_cell("(s^" + std::to_string(line[0]) + ", s^" +
+                  std::to_string(line[1]) + ")")
+        .add_cell(std::to_string(rolled_back) + " intervals");
+  }
+  table.print(std::cout, "domino effect with " + std::to_string(rounds) +
+                             " crossing messages");
+  std::cout << "\nuncoordinated: every checkpoint is useless (on a Z-cycle); "
+               "recovery collapses to (s^0, s^0) no matter how long the run.\n"
+               "FDAS: forced checkpoints break the Z-cycles; only the last "
+               "interval or two is ever lost.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Side-by-side comparison of garbage-collection strategies on the same
+// workload (the paper's §5 related work, made concrete):
+//
+//   none            — storage grows without bound;
+//   RDT-LGC         — the paper's asynchronous collector: no control
+//                     messages, bounded storage (Theorem 5: optimal);
+//   coordinated     — Wang et al. [21]: collects *all* obsolete checkpoints
+//                     but needs coordinator rounds (control messages);
+//   recovery-line   — Bhargava & Lian [5]: discards below the all-faulty
+//                     recovery line; simple but unbounded retention.
+#include <iostream>
+
+#include "gc/synchronous_gc.hpp"
+#include "harness/system.hpp"
+#include "metrics/storage_probe.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace rdtgc;
+  constexpr std::size_t kProcesses = 8;
+  constexpr SimTime kDuration = 15000;
+
+  util::Table table({"strategy", "mean storage", "peak storage",
+                     "final storage", "collected", "control messages"});
+  for (int strategy = 0; strategy < 4; ++strategy) {
+    harness::SystemConfig config;
+    config.process_count = kProcesses;
+    config.protocol = ckpt::ProtocolKind::kFdas;
+    config.gc = (strategy == 1) ? harness::GcChoice::kRdtLgc
+                                : harness::GcChoice::kNone;
+    config.seed = 12;
+    harness::System system(config);
+
+    workload::WorkloadConfig wl;
+    wl.seed = 12;
+    workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                    wl);
+    driver.start(kDuration);
+    metrics::StorageProbe probe(system.simulator(),
+                                std::as_const(system).node_ptrs());
+    probe.start(100, kDuration);
+
+    std::unique_ptr<gc::SynchronousGcDriver> sync;
+    if (strategy >= 2) {
+      gc::SynchronousGcDriver::Config sc;
+      sc.policy = (strategy == 2) ? gc::SyncGcPolicy::kWangTheorem1
+                                  : gc::SyncGcPolicy::kRecoveryLine;
+      sc.period = 300;
+      sc.notify_delay = 10;
+      sync = std::make_unique<gc::SynchronousGcDriver>(
+          system.simulator(), system.recorder(), system.node_ptrs(), sc);
+      sync->start(kDuration);
+    }
+    system.simulator().run();
+
+    static const char* kNames[] = {"none", "RDT-LGC", "coordinated-Wang95",
+                                   "recovery-line"};
+    table.begin_row()
+        .add_cell(kNames[strategy])
+        .add_cell(probe.global_series().stat().mean())
+        .add_cell(probe.global_series().stat().max(), 0)
+        .add_cell(system.total_stored())
+        .add_cell(system.total_collected())
+        .add_cell(sync ? sync->stats().control_messages : 0);
+  }
+  table.print(std::cout,
+              "GC strategies, identical workload (n=8, 15k ticks)");
+  std::cout << "\nRDT-LGC matches the synchronous collectors' storage to "
+               "within a handful of checkpoints — the causally-invisible "
+               "obsolete ones (Figure 4's s_2^1) — without sending a single "
+               "control message.\n";
+  return 0;
+}

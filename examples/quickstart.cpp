@@ -1,0 +1,68 @@
+// Quickstart: a four-process system running the FDAS RDT checkpointing
+// protocol with RDT-LGC garbage collection (the paper's merged Algorithm 4),
+// driven by a random workload.
+//
+//   $ ./quickstart
+//
+// Shows: assembling a System, running a workload, reading storage and
+// collection statistics, and checking the CCP analyses.
+#include <iostream>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/system.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace rdtgc;
+
+  // 1. Assemble a system: n processes, a protocol, and a collector.
+  harness::SystemConfig config;
+  config.process_count = 4;
+  config.protocol = ckpt::ProtocolKind::kFdas;  // RDT guaranteed
+  config.gc = harness::GcChoice::kRdtLgc;       // the paper's collector
+  config.seed = 2026;
+  harness::System system(config);
+
+  // 2. Drive it with a workload: random peer-to-peer messages, with a basic
+  //    (autonomous) checkpoint on 20% of the activities.
+  workload::WorkloadConfig wl;
+  wl.kind = workload::WorkloadKind::kUniform;
+  wl.checkpoint_probability = 0.2;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(/*until=*/10000);
+  system.simulator().run();
+
+  // 3. Inspect the outcome.
+  util::Table table({"process", "ckpts taken", "forced", "collected",
+                     "stored now", "bound n", "current DV"});
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto& node = system.node(p);
+    const auto& stats = node.store().stats();
+    table.begin_row()
+        .add_cell("p" + std::to_string(p))
+        .add_cell(stats.stored)
+        .add_cell(node.counters().forced_checkpoints)
+        .add_cell(stats.collected)
+        .add_cell(node.store().count())
+        .add_cell(std::size_t{4})
+        .add_cell(node.dv().to_string());
+  }
+  table.print(std::cout, "FDAS + RDT-LGC after 10k ticks");
+
+  // 4. The recorded checkpoint-and-communication pattern is RD-trackable,
+  //    which is what lets the collector work from timestamps alone.
+  const ccp::CausalGraph causal(system.recorder());
+  const ccp::ZigzagAnalysis zigzag(system.recorder());
+  std::cout << "\nCCP is RD-trackable: "
+            << (ccp::check_rdt(system.recorder(), causal, zigzag)
+                    ? "NO (bug!)"
+                    : "yes")
+            << "\ncheckpoints collected in total: " << system.total_collected()
+            << ", stored now: " << system.total_stored()
+            << " (theoretical worst case: n^2 = 16)\n"
+            << "control messages used by the collector: 0 (asynchronous)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "causality/dependency_vector.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::causality {
+
+IntervalIndex DependencyVector::operator[](ProcessId p) const {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < entries_.size());
+  return entries_[static_cast<std::size_t>(p)];
+}
+
+IntervalIndex& DependencyVector::at(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < entries_.size());
+  return entries_[static_cast<std::size_t>(p)];
+}
+
+bool DependencyVector::has_new_dependency_from(
+    const DependencyVector& m) const {
+  RDTGC_EXPECTS(m.size() == size());
+  for (std::size_t j = 0; j < entries_.size(); ++j)
+    if (m.entries_[j] > entries_[j]) return true;
+  return false;
+}
+
+std::vector<ProcessId> DependencyVector::new_dependencies_from(
+    const DependencyVector& m) const {
+  RDTGC_EXPECTS(m.size() == size());
+  std::vector<ProcessId> out;
+  for (std::size_t j = 0; j < entries_.size(); ++j)
+    if (m.entries_[j] > entries_[j]) out.push_back(static_cast<ProcessId>(j));
+  return out;
+}
+
+std::vector<ProcessId> DependencyVector::merge(const DependencyVector& m) {
+  RDTGC_EXPECTS(m.size() == size());
+  std::vector<ProcessId> changed;
+  for (std::size_t j = 0; j < entries_.size(); ++j) {
+    if (m.entries_[j] > entries_[j]) {
+      entries_[j] = m.entries_[j];
+      changed.push_back(static_cast<ProcessId>(j));
+    }
+  }
+  return changed;
+}
+
+std::string DependencyVector::to_string() const {
+  std::string out = "(";
+  for (std::size_t j = 0; j < entries_.size(); ++j) {
+    if (j) out += ", ";
+    out += std::to_string(entries_[j]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rdtgc::causality

@@ -1,0 +1,69 @@
+// Transitive dependency vectors (Strom & Yemini [18]), the timestamp
+// mechanism of RDT checkpointing protocols (§4.2 of the paper).
+//
+// Semantics, for the vector held by process p_i:
+//  * DV[i] is p_i's current checkpoint-interval index. It starts at 0 and is
+//    incremented immediately after a checkpoint is taken.
+//  * DV[j] (j != i) is the highest interval index of p_j on which p_i
+//    (transitively) depends; updated on message receipt.
+//
+// Two derived relations from the paper:
+//  * Equation 2:  c_a^α → c_b^β  ⇔  α < DV(c_b^β)[a]
+//  * Equation 3:  last_k_i(j) = DV(v_i)[j] − 1
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causality/types.hpp"
+
+namespace rdtgc::causality {
+
+/// A size-n transitive dependency vector.
+class DependencyVector {
+ public:
+  DependencyVector() = default;
+
+  /// Zero-initialized vector for `n` processes (paper: initially (0,...,0)).
+  explicit DependencyVector(std::size_t n) : entries_(n, 0) {}
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entry access; `p` must be a valid process id.
+  IntervalIndex operator[](ProcessId p) const;
+  /// Mutable entry access for protocol internals; prefer the named mutators.
+  IntervalIndex& at(ProcessId p);
+
+  /// True iff message timestamp `m` carries causal information about some
+  /// process that this vector has not seen (∃j: m[j] > this[j]).
+  bool has_new_dependency_from(const DependencyVector& m) const;
+
+  /// The set of processes j with m[j] > this[j], in increasing id order.
+  std::vector<ProcessId> new_dependencies_from(const DependencyVector& m) const;
+
+  /// Component-wise max update from a message timestamp.  Returns the entries
+  /// that changed, in increasing id order (the paper's "new causal info").
+  std::vector<ProcessId> merge(const DependencyVector& m);
+
+  /// Equation 2: does checkpoint c_a^alpha causally precede the checkpoint
+  /// whose stored dependency vector is *this?
+  bool precedes_this(ProcessId a, CheckpointIndex alpha) const {
+    return alpha < (*this)[a];
+  }
+
+  /// Equation 3: index of the last stable checkpoint of p_j known here
+  /// (kNoCheckpoint if none).
+  CheckpointIndex last_known_checkpoint(ProcessId j) const {
+    return (*this)[j] - 1;
+  }
+
+  bool operator==(const DependencyVector&) const = default;
+
+  /// Render as "(a, b, c)" like the paper's Figure 4.
+  std::string to_string() const;
+
+ private:
+  std::vector<IntervalIndex> entries_;
+};
+
+}  // namespace rdtgc::causality

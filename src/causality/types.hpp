@@ -1,0 +1,30 @@
+// Fundamental identifier types shared across the library.
+//
+// Terminology follows the paper (§2):
+//  * a process p_i has checkpoints c_i^0, c_i^1, ... where indices
+//    0..last_s(i) are stable and last_s(i)+1 denotes the volatile state v_i;
+//  * DV[i] holds the *current checkpoint interval* of p_i, which equals
+//    (index of the last stable checkpoint) + 1.
+#pragma once
+
+#include <cstdint>
+
+namespace rdtgc {
+
+/// Process identifier, 0-based (the paper is 1-based; the mapping is p_{id+1}).
+using ProcessId = std::int32_t;
+
+/// Checkpoint index γ (0-based as in the paper: every process starts by
+/// storing s_i^0).
+using CheckpointIndex = std::int32_t;
+
+/// Checkpoint-interval index; interval I_i^γ lies between c_i^{γ-1} and c_i^γ.
+using IntervalIndex = std::int32_t;
+
+/// Simulated time (abstract ticks; the algorithms never read it).
+using SimTime = std::uint64_t;
+
+/// Sentinel meaning "no checkpoint known" (paper: last_k_i(j) = -1).
+inline constexpr CheckpointIndex kNoCheckpoint = -1;
+
+}  // namespace rdtgc

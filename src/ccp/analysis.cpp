@@ -1,0 +1,293 @@
+#include "ccp/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdtgc::ccp {
+
+std::string RdtViolation::to_string() const {
+  return "zigzag without causal doubling: c_" + std::to_string(a) + "^" +
+         std::to_string(alpha) + " ~> c_" + std::to_string(b) + "^" +
+         std::to_string(beta);
+}
+
+std::optional<RdtViolation> check_rdt(const CcpRecorder& recorder,
+                                      const Precedence& causal,
+                                      const ZigzagAnalysis& zigzag) {
+  const auto n = static_cast<ProcessId>(recorder.process_count());
+  for (ProcessId a = 0; a < n; ++a) {
+    const CheckpointIndex la = recorder.last_stable(a);
+    for (CheckpointIndex alpha = 0; alpha <= la + 1; ++alpha) {
+      for (ProcessId b = 0; b < n; ++b) {
+        const CheckpointIndex lb = recorder.last_stable(b);
+        for (CheckpointIndex beta = 0; beta <= lb + 1; ++beta) {
+          if (zigzag.zigzag(a, alpha, b, beta) &&
+              !causal.precedes(a, alpha, b, beta))
+            return RdtViolation{a, alpha, b, beta};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<CheckpointIndex> recovery_line_lemma1(
+    const CcpRecorder& recorder, const Precedence& causal,
+    const std::vector<bool>& faulty) {
+  const std::size_t n = recorder.process_count();
+  RDTGC_EXPECTS(faulty.size() == n);
+  std::vector<CheckpointIndex> line(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pi = static_cast<ProcessId>(i);
+    const CheckpointIndex last_i = recorder.last_stable(pi);
+    // s_f^last → c_i^γ is monotone in γ, so scan down from the volatile
+    // state; γ = 0 always qualifies (nothing precedes initial checkpoints).
+    CheckpointIndex k = last_i + 1;
+    for (; k > 0; --k) {
+      bool excluded = false;
+      for (std::size_t f = 0; f < n && !excluded; ++f) {
+        if (!faulty[f]) continue;
+        const auto pf = static_cast<ProcessId>(f);
+        excluded = causal.precedes(pf, recorder.last_stable(pf), pi, k);
+      }
+      if (!excluded) break;
+    }
+    line[i] = k;
+  }
+  return line;
+}
+
+bool is_consistent_global_checkpoint(
+    const CcpRecorder& recorder, const Precedence& causal,
+    const std::vector<CheckpointIndex>& line) {
+  const std::size_t n = recorder.process_count();
+  RDTGC_EXPECTS(line.size() == n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (a != b && causal.precedes(static_cast<ProcessId>(a), line[a],
+                                    static_cast<ProcessId>(b), line[b]))
+        return false;
+  return true;
+}
+
+std::vector<std::vector<bool>> obsolete_theorem1(const CcpRecorder& recorder,
+                                                 const Precedence& causal) {
+  const std::size_t n = recorder.process_count();
+  std::vector<std::vector<bool>> obsolete(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pi = static_cast<ProcessId>(i);
+    const CheckpointIndex last_i = recorder.last_stable(pi);
+    obsolete[i].resize(static_cast<std::size_t>(last_i) + 1, true);
+    for (CheckpointIndex g = 0; g <= last_i; ++g) {
+      for (std::size_t f = 0; f < n; ++f) {
+        const auto pf = static_cast<ProcessId>(f);
+        const CheckpointIndex last_f = recorder.last_stable(pf);
+        if (causal.precedes(pf, last_f, pi, g + 1) &&
+            !causal.precedes(pf, last_f, pi, g)) {
+          obsolete[i][static_cast<std::size_t>(g)] = false;
+          break;
+        }
+      }
+    }
+  }
+  return obsolete;
+}
+
+std::vector<CheckpointIndex> retained_corollary1(const CcpRecorder& recorder,
+                                                 ProcessId p) {
+  const std::size_t n = recorder.process_count();
+  const CheckpointIndex last = recorder.last_stable(p);
+  const causality::DependencyVector& dv_v = recorder.volatile_dv(p);
+  std::vector<CheckpointIndex> retained;
+  for (CheckpointIndex g = 0; g <= last; ++g) {
+    const causality::DependencyVector& dv_g =
+        recorder.general_checkpoint_dv(p, g);
+    const causality::DependencyVector& dv_next =
+        recorder.general_checkpoint_dv(p, g + 1);
+    for (std::size_t f = 0; f < n; ++f) {
+      const auto pf = static_cast<ProcessId>(f);
+      if (dv_v[pf] == dv_next[pf] && dv_v[pf] > dv_g[pf]) {
+        retained.push_back(g);
+        break;
+      }
+    }
+  }
+  return retained;
+}
+
+std::optional<std::vector<CheckpointIndex>> max_consistent_containing(
+    const CcpRecorder& recorder, const Precedence& causal, const TargetSet& s) {
+  const std::size_t n = recorder.process_count();
+  RDTGC_EXPECTS(!s.empty());
+  std::vector<CheckpointIndex> line(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pi = static_cast<ProcessId>(i);
+    const CheckpointIndex last_i = recorder.last_stable(pi);
+    auto it = s.find(pi);
+    if (it != s.end()) {
+      RDTGC_EXPECTS(it->second >= 0 && it->second <= last_i + 1);
+      line[i] = it->second;
+      continue;
+    }
+    // Last checkpoint of p_i not causally preceded by any member of S;
+    // the predicate is monotone in γ and false at γ = 0.
+    CheckpointIndex k = last_i + 1;
+    for (; k > 0; --k) {
+      bool preceded = false;
+      for (const auto& [q, sigma] : s)
+        if (causal.precedes(q, sigma, pi, k)) {
+          preceded = true;
+          break;
+        }
+      if (!preceded) break;
+    }
+    line[i] = k;
+  }
+  if (!is_consistent_global_checkpoint(recorder, causal, line))
+    return std::nullopt;
+  return line;
+}
+
+std::optional<std::vector<CheckpointIndex>> min_consistent_containing(
+    const CcpRecorder& recorder, const Precedence& causal, const TargetSet& s) {
+  const std::size_t n = recorder.process_count();
+  RDTGC_EXPECTS(!s.empty());
+  std::vector<CheckpointIndex> line(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pi = static_cast<ProcessId>(i);
+    const CheckpointIndex last_i = recorder.last_stable(pi);
+    auto it = s.find(pi);
+    if (it != s.end()) {
+      RDTGC_EXPECTS(it->second >= 0 && it->second <= last_i + 1);
+      line[i] = it->second;
+      continue;
+    }
+    // First checkpoint of p_i that precedes no member of S;
+    // "c_i^γ → c_q^σ" is antitone in γ.
+    CheckpointIndex k = 0;
+    for (; k <= last_i + 1; ++k) {
+      bool precedes_member = false;
+      for (const auto& [q, sigma] : s)
+        if (causal.precedes(pi, k, q, sigma)) {
+          precedes_member = true;
+          break;
+        }
+      if (!precedes_member) break;
+    }
+    if (k > last_i + 1) return std::nullopt;  // even v_i precedes S
+    line[i] = k;
+  }
+  if (!is_consistent_global_checkpoint(recorder, causal, line))
+    return std::nullopt;
+  return line;
+}
+
+std::optional<std::vector<CheckpointIndex>> brute_force_extreme_consistent(
+    const CcpRecorder& recorder, const Precedence& causal, const TargetSet& s,
+    const std::vector<CheckpointIndex>& caps, bool want_max) {
+  const std::size_t n = recorder.process_count();
+  RDTGC_EXPECTS(caps.size() == n);
+  std::vector<CheckpointIndex> assignment(n, 0);
+  std::optional<std::vector<CheckpointIndex>> best;
+
+  // Depth-first enumeration of all assignments within caps, honoring S.
+  auto consistent_with_prefix = [&](std::size_t upto) {
+    // Incremental pairwise check for position `upto` against 0..upto-1.
+    for (std::size_t b = 0; b < upto; ++b) {
+      if (causal.precedes(static_cast<ProcessId>(upto), assignment[upto],
+                          static_cast<ProcessId>(b), assignment[b]) ||
+          causal.precedes(static_cast<ProcessId>(b), assignment[b],
+                          static_cast<ProcessId>(upto), assignment[upto]))
+        return false;
+    }
+    return true;
+  };
+
+  // Iterative DFS over positions.
+  std::vector<CheckpointIndex> lo(n, 0), hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = caps[i];
+    auto it = s.find(static_cast<ProcessId>(i));
+    if (it != s.end()) lo[i] = hi[i] = it->second;
+  }
+  std::size_t pos = 0;
+  assignment[0] = lo[0] - 1;  // will be advanced first
+  while (true) {
+    ++assignment[pos];
+    if (assignment[pos] > hi[pos]) {
+      if (pos == 0) break;
+      --pos;
+      continue;
+    }
+    if (!consistent_with_prefix(pos)) continue;
+    if (pos + 1 == n) {
+      // Merge into the running extreme (lattice: componentwise max/min of
+      // consistent lines containing S is itself consistent under RDT).
+      if (!best) {
+        best = assignment;
+      } else {
+        for (std::size_t i = 0; i < n; ++i)
+          (*best)[i] = want_max ? std::max((*best)[i], assignment[i])
+                                : std::min((*best)[i], assignment[i]);
+      }
+      continue;
+    }
+    ++pos;
+    assignment[pos] = lo[pos] - 1;
+  }
+  if (best) {
+    // The lattice extreme must itself be consistent; verify (this is part of
+    // what the property tests assert).
+    if (!is_consistent_global_checkpoint(recorder, causal, *best))
+      return std::nullopt;
+  }
+  return best;
+}
+
+namespace {
+
+const MessageInfo& live_message(const CcpRecorder& recorder,
+                                sim::MessageId id) {
+  RDTGC_EXPECTS(id >= 1 && id <= recorder.messages().size());
+  const MessageInfo& m = recorder.messages()[id - 1];
+  RDTGC_EXPECTS(m.live());
+  return m;
+}
+
+}  // namespace
+
+bool is_zigzag_sequence(const CcpRecorder& recorder,
+                        const std::vector<sim::MessageId>& ids, ProcessId a,
+                        CheckpointIndex alpha, ProcessId b,
+                        CheckpointIndex beta) {
+  RDTGC_EXPECTS(!ids.empty());
+  const MessageInfo& first = live_message(recorder, ids.front());
+  // (i) p_a sends m1 after c_a^alpha.
+  if (first.src != a || first.send_interval < alpha + 1) return false;
+  // (ii) each m_{i+1} leaves the receiver of m_i in the same or a later
+  // checkpoint interval.
+  for (std::size_t k = 0; k + 1 < ids.size(); ++k) {
+    const MessageInfo& m = live_message(recorder, ids[k]);
+    const MessageInfo& next = live_message(recorder, ids[k + 1]);
+    if (m.dst != next.src) return false;
+    if (next.send_interval < m.recv_interval) return false;
+  }
+  // (iii) p_b receives m_k before c_b^beta.
+  const MessageInfo& last = live_message(recorder, ids.back());
+  return last.dst == b && last.recv_interval <= beta;
+}
+
+bool is_causal_sequence(const CcpRecorder& recorder,
+                        const std::vector<sim::MessageId>& ids) {
+  for (std::size_t k = 0; k + 1 < ids.size(); ++k) {
+    const MessageInfo& m = live_message(recorder, ids[k]);
+    const MessageInfo& next = live_message(recorder, ids[k + 1]);
+    if (m.dst != next.src) return false;
+    // Same process: program order (serials) decides causal precedence.
+    if (m.recv_serial >= next.send_serial) return false;
+  }
+  return true;
+}
+
+}  // namespace rdtgc::ccp

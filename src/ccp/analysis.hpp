@@ -1,0 +1,103 @@
+// CCP-level analyses from the paper:
+//
+//  * RDT oracle            — Definition 4: every zigzag path is doubled by a
+//                            causal path (checked over all general-checkpoint
+//                            pairs, including Z-cycles).
+//  * Lemma 1 recovery line — R_F for RDT patterns via causal precedence.
+//  * Theorem 1 oracle      — the exact set of obsolete stable checkpoints.
+//  * Corollary 1 set       — what an optimal *asynchronous* collector must
+//                            retain, computed from each process's own DV.
+//  * Wang-style min/max consistent global checkpoints containing a target
+//    set (the classic application RDT enables [20]), plus brute-force
+//    variants used as test oracles.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/recorder.hpp"
+#include "ccp/zigzag.hpp"
+
+namespace rdtgc::ccp {
+
+/// Description of one RDT violation (for diagnostics).
+struct RdtViolation {
+  ProcessId a = -1;
+  CheckpointIndex alpha = -1;
+  ProcessId b = -1;
+  CheckpointIndex beta = -1;
+  std::string to_string() const;
+};
+
+/// Definition 4: the live CCP is RD-trackable iff zigzag ⇒ causal for every
+/// ordered pair of general checkpoints.  On success returns std::nullopt;
+/// otherwise the first violation found.
+std::optional<RdtViolation> check_rdt(const CcpRecorder& recorder,
+                                      const Precedence& causal,
+                                      const ZigzagAnalysis& zigzag);
+
+/// Lemma 1: R_F = ∪_i { c_i^k, k = max(γ | ∀ f∈F : s_f^last ↛ c_i^γ) }.
+/// `faulty[p]` marks members of F.  Entry last_s(p)+1 denotes the volatile
+/// state.  Only valid on RD-trackable CCPs.
+std::vector<CheckpointIndex> recovery_line_lemma1(
+    const CcpRecorder& recorder, const Precedence& causal,
+    const std::vector<bool>& faulty);
+
+/// Consistency of a full global checkpoint: no member causally precedes
+/// another (§2.2; equivalent to the induced cut being consistent).
+bool is_consistent_global_checkpoint(const CcpRecorder& recorder,
+                                     const Precedence& causal,
+                                     const std::vector<CheckpointIndex>& line);
+
+/// Theorem 1: per process, the flags of *stable* checkpoints (index 0 ..
+/// last_s(p)) that are obsolete in the current cut: s_i^γ is obsolete iff no
+/// process f satisfies  s_f^last → c_i^{γ+1}  ∧  s_f^last ↛ s_i^γ.
+std::vector<std::vector<bool>> obsolete_theorem1(const CcpRecorder& recorder,
+                                                 const Precedence& causal);
+
+/// Corollary 1: the stable checkpoints of p that an optimal asynchronous
+/// collector must retain, from p's own dependency vectors:
+/// retain s_p^γ iff ∃f: DV(v_p)[f] == DV(c_p^{γ+1})[f] ∧ DV(v_p)[f] > DV(s_p^γ)[f].
+std::vector<CheckpointIndex> retained_corollary1(const CcpRecorder& recorder,
+                                                 ProcessId p);
+
+/// Target set for min/max queries: process -> required checkpoint index.
+using TargetSet = std::map<ProcessId, CheckpointIndex>;
+
+/// Maximum consistent global checkpoint containing S (Wang [20], valid under
+/// RDT): per free process the last checkpoint not causally preceded by any
+/// member of S; returns std::nullopt when no consistent global checkpoint
+/// contains S.
+std::optional<std::vector<CheckpointIndex>> max_consistent_containing(
+    const CcpRecorder& recorder, const Precedence& causal, const TargetSet& s);
+
+/// Minimum consistent global checkpoint containing S.
+std::optional<std::vector<CheckpointIndex>> min_consistent_containing(
+    const CcpRecorder& recorder, const Precedence& causal, const TargetSet& s);
+
+/// Test oracle: enumerate all global checkpoints (exponential!) and return
+/// the componentwise max/min consistent one containing S, or std::nullopt.
+/// `caps[p]` bounds the candidate index per process (use last_s(p)+1 to allow
+/// volatile states).
+std::optional<std::vector<CheckpointIndex>> brute_force_extreme_consistent(
+    const CcpRecorder& recorder, const Precedence& causal, const TargetSet& s,
+    const std::vector<CheckpointIndex>& caps, bool want_max);
+
+/// Definition 3, checked on an explicit message sequence: is [ids...] a
+/// zigzag path connecting c_a^alpha to c_b^beta?  (Every message must be
+/// live and delivered.)
+bool is_zigzag_sequence(const CcpRecorder& recorder,
+                        const std::vector<sim::MessageId>& ids, ProcessId a,
+                        CheckpointIndex alpha, ProcessId b,
+                        CheckpointIndex beta);
+
+/// Is the message sequence causal (§2.2: each receipt causally precedes the
+/// next send — they share a process, so event order decides)?
+bool is_causal_sequence(const CcpRecorder& recorder,
+                        const std::vector<sim::MessageId>& ids);
+
+}  // namespace rdtgc::ccp

@@ -1,0 +1,92 @@
+#include "ccp/dot_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdtgc::ccp {
+
+namespace {
+
+std::string checkpoint_node(ProcessId p, CheckpointIndex g) {
+  return "c_" + std::to_string(p) + "_" + std::to_string(g);
+}
+
+std::string event_node(ProcessId p, std::uint64_t serial) {
+  return "e_" + std::to_string(p) + "_" + std::to_string(serial);
+}
+
+std::string interval_node(ProcessId p, IntervalIndex g) {
+  return "i_" + std::to_string(p) + "_" + std::to_string(g);
+}
+
+}  // namespace
+
+void export_ccp_dot(const CcpRecorder& recorder, std::ostream& os) {
+  os << "digraph ccp {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  const auto n = static_cast<ProcessId>(recorder.process_count());
+  // Per-process chains: checkpoints and live message endpoints, in serial
+  // order.
+  for (ProcessId p = 0; p < n; ++p) {
+    os << "  subgraph cluster_p" << p << " {\n    label=\"p" << (p + 1)
+       << "\";\n    style=invis;\n";
+    // Collect (serial, node-id, shape) for the chain.
+    std::vector<std::pair<std::uint64_t, std::string>> chain;
+    for (const CheckpointInfo& c : recorder.checkpoints(p)) {
+      os << "    " << checkpoint_node(p, c.index) << " [shape=box,label=\"s"
+         << c.index << (c.kind == CheckpointKind::kForced ? "!" : "")
+         << "\"];\n";
+      chain.emplace_back(c.serial, checkpoint_node(p, c.index));
+    }
+    for (const MessageInfo& m : recorder.messages()) {
+      if (m.src == p && m.send_serial != 0 && m.send_alive) {
+        os << "    " << event_node(p, m.send_serial)
+           << " [shape=point,label=\"\"];\n";
+        chain.emplace_back(m.send_serial, event_node(p, m.send_serial));
+      }
+      if (m.dst == p && m.live()) {
+        os << "    " << event_node(p, m.recv_serial)
+           << " [shape=point,label=\"\"];\n";
+        chain.emplace_back(m.recv_serial, event_node(p, m.recv_serial));
+      }
+    }
+    std::sort(chain.begin(), chain.end());
+    for (std::size_t k = 0; k + 1 < chain.size(); ++k)
+      os << "    " << chain[k].second << " -> " << chain[k + 1].second
+         << " [style=bold,arrowhead=none];\n";
+    os << "  }\n";
+  }
+  std::size_t label = 1;
+  for (const MessageInfo& m : recorder.messages()) {
+    if (!m.live()) continue;
+    os << "  " << event_node(m.src, m.send_serial) << " -> "
+       << event_node(m.dst, m.recv_serial) << " [color=blue,label=\"m"
+       << label++ << "\"];\n";
+  }
+  os << "}\n";
+}
+
+void export_rgraph_dot(const CcpRecorder& recorder, std::ostream& os) {
+  os << "digraph rgraph {\n  rankdir=LR;\n  node [fontsize=10,shape=ellipse];\n";
+  const auto n = static_cast<ProcessId>(recorder.process_count());
+  for (ProcessId p = 0; p < n; ++p) {
+    const CheckpointIndex last = recorder.last_stable(p);
+    for (IntervalIndex g = 0; g <= last + 1; ++g) {
+      os << "  " << interval_node(p, g) << " [label=\"I" << (p + 1) << "^" << g
+         << (g == last + 1 ? " (v)" : "") << "\"];\n";
+      if (g <= last)
+        os << "  " << interval_node(p, g) << " -> " << interval_node(p, g + 1)
+           << ";\n";
+    }
+  }
+  for (const MessageInfo& m : recorder.messages()) {
+    if (!m.live()) continue;
+    os << "  " << interval_node(m.src, m.send_interval) << " -> "
+       << interval_node(m.dst, m.recv_interval) << " [color=blue];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace rdtgc::ccp

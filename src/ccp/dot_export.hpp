@@ -1,0 +1,21 @@
+// Graphviz (DOT) exporters for recorded patterns — debugging/teaching
+// tooling: render the CCP as a space-time diagram (paper-figure style) or
+// the R-graph used by the zigzag analysis.
+#pragma once
+
+#include <iosfwd>
+
+#include "ccp/recorder.hpp"
+
+namespace rdtgc::ccp {
+
+/// Space-time diagram: one horizontal chain per process with its checkpoint
+/// events (boxes: index, forced marked), message edges between send/receive
+/// positions.  Dead (rolled-back) messages are omitted.
+void export_ccp_dot(const CcpRecorder& recorder, std::ostream& os);
+
+/// The rollback-dependency graph: one node per checkpoint interval,
+/// program-order edges plus message edges (§ zigzag.hpp).
+void export_rgraph_dot(const CcpRecorder& recorder, std::ostream& os);
+
+}  // namespace rdtgc::ccp

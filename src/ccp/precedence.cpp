@@ -1,0 +1,126 @@
+#include "ccp/precedence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace rdtgc::ccp {
+
+bool DvPrecedence::precedes(ProcessId a, CheckpointIndex alpha, ProcessId b,
+                            CheckpointIndex beta) const {
+  return alpha < recorder_.general_checkpoint_dv(b, beta)[a];
+}
+
+namespace {
+
+/// One live event in recording order, for the vector-clock sweep.
+struct SweepEvent {
+  enum class Type { kCheckpoint, kSend, kReceive } type;
+  std::uint64_t gseq;
+  ProcessId process;
+  CheckpointIndex ckpt_index = -1;  // for kCheckpoint
+  std::size_t msg_slot = 0;         // for kSend/kReceive: index into messages()
+};
+
+}  // namespace
+
+CausalGraph::CausalGraph(const CcpRecorder& recorder)
+    : n_(recorder.process_count()),
+      checkpoint_clock_(n_),
+      volatile_clock_(n_, Clock(n_, 0)),
+      checkpoint_pos_(n_),
+      volatile_pos_(n_, 0) {
+  RDTGC_EXPECTS(recorder.audit_no_orphans());
+
+  // Gather live events. Recording order (gseq) is a linearization of the
+  // execution, so a single forward sweep computes correct vector clocks.
+  std::vector<SweepEvent> events;
+  for (std::size_t p = 0; p < n_; ++p) {
+    const auto& list = recorder.checkpoints(static_cast<ProcessId>(p));
+    checkpoint_clock_[p].resize(list.size());
+    checkpoint_pos_[p].resize(list.size());
+    for (const CheckpointInfo& c : list)
+      events.push_back(SweepEvent{SweepEvent::Type::kCheckpoint, c.gseq,
+                                  c.process, c.index, 0});
+  }
+  const auto& messages = recorder.messages();
+  for (std::size_t s = 0; s < messages.size(); ++s) {
+    const MessageInfo& m = messages[s];
+    if (m.send_serial != 0 && m.send_alive)
+      events.push_back(
+          SweepEvent{SweepEvent::Type::kSend, m.send_gseq, m.src, -1, s});
+    if (m.live())
+      events.push_back(
+          SweepEvent{SweepEvent::Type::kReceive, m.recv_gseq, m.dst, -1, s});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SweepEvent& a, const SweepEvent& b) {
+              return a.gseq < b.gseq;
+            });
+
+  std::vector<Clock> current(n_, Clock(n_, 0));
+  std::map<std::size_t, Clock> send_clock;  // msg slot -> clock at send
+  for (const SweepEvent& e : events) {
+    Clock& clk = current[static_cast<std::size_t>(e.process)];
+    ++clk[static_cast<std::size_t>(e.process)];
+    switch (e.type) {
+      case SweepEvent::Type::kCheckpoint:
+        checkpoint_clock_[static_cast<std::size_t>(e.process)]
+                         [static_cast<std::size_t>(e.ckpt_index)] = clk;
+        checkpoint_pos_[static_cast<std::size_t>(e.process)]
+                       [static_cast<std::size_t>(e.ckpt_index)] =
+                           clk[static_cast<std::size_t>(e.process)];
+        break;
+      case SweepEvent::Type::kSend:
+        send_clock[e.msg_slot] = clk;
+        break;
+      case SweepEvent::Type::kReceive: {
+        auto it = send_clock.find(e.msg_slot);
+        // A live receive implies a live send, already swept (send precedes
+        // receive in recording order).
+        RDTGC_ASSERT(it != send_clock.end());
+        for (std::size_t q = 0; q < n_; ++q)
+          clk[q] = std::max(clk[q], it->second[q]);
+        break;
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n_; ++p) {
+    volatile_clock_[p] = current[p];
+    volatile_pos_[p] = current[p][p];
+  }
+}
+
+const CausalGraph::Clock& CausalGraph::clock_of(ProcessId p,
+                                                CheckpointIndex gamma) const {
+  const auto pi = static_cast<std::size_t>(p);
+  RDTGC_EXPECTS(pi < n_);
+  const auto last = static_cast<CheckpointIndex>(checkpoint_clock_[pi].size()) - 1;
+  RDTGC_EXPECTS(gamma >= 0 && gamma <= last + 1);
+  if (gamma <= last) return checkpoint_clock_[pi][static_cast<std::size_t>(gamma)];
+  return volatile_clock_[pi];
+}
+
+bool CausalGraph::precedes(ProcessId a, CheckpointIndex alpha, ProcessId b,
+                           CheckpointIndex beta) const {
+  const auto ai = static_cast<std::size_t>(a);
+  const auto last_a =
+      static_cast<CheckpointIndex>(checkpoint_clock_[ai].size()) - 1;
+  RDTGC_EXPECTS(alpha >= 0 && alpha <= last_a + 1);
+
+  if (a == b) return alpha < beta;  // program order
+
+  // Position of c_a^alpha in a's own event count.  The volatile state v_a
+  // sits after every current event of a: it can precede another checkpoint
+  // only through a message sent at-or-after a's last event, which would be a
+  // *later* event; so v_a precedes nothing (see also paper §3: only stable
+  // checkpoints matter as sources except v itself).
+  const std::uint64_t pos = (alpha <= last_a)
+                                ? checkpoint_pos_[ai][static_cast<std::size_t>(alpha)]
+                                : volatile_pos_[ai] + 1;
+  const Clock& target = clock_of(b, beta);
+  return target[ai] >= pos;
+}
+
+}  // namespace rdtgc::ccp

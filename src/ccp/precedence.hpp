@@ -1,0 +1,64 @@
+// Causal-precedence oracles between *general* checkpoints (Eq. 1):
+// c_p^γ is the stored checkpoint for γ <= last_s(p) and the volatile state
+// v_p for γ = last_s(p)+1.
+//
+// Two interchangeable implementations:
+//  * DvPrecedence — the paper's Equation 2 over the dependency vectors the
+//    protocol itself propagated (what the algorithms can actually see);
+//  * CausalGraph — an independent vector-clock sweep over the recorded event
+//    graph (ground truth).
+// Their agreement on RDT runs is itself one of the paper's claims (Eq. 2
+// holds for transitive dependency vectors) and is property-tested.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ccp/recorder.hpp"
+
+namespace rdtgc::ccp {
+
+/// Abstract causal-precedence oracle: does c_a^alpha → c_b^beta ?
+class Precedence {
+ public:
+  virtual ~Precedence() = default;
+  virtual bool precedes(ProcessId a, CheckpointIndex alpha, ProcessId b,
+                        CheckpointIndex beta) const = 0;
+};
+
+/// Equation 2: c_a^α → c_b^β ⇔ α < DV(c_b^β)[a].
+class DvPrecedence final : public Precedence {
+ public:
+  explicit DvPrecedence(const CcpRecorder& recorder) : recorder_(recorder) {}
+  bool precedes(ProcessId a, CheckpointIndex alpha, ProcessId b,
+                CheckpointIndex beta) const override;
+
+ private:
+  const CcpRecorder& recorder_;
+};
+
+/// Ground-truth causality from the live event graph (Lamport's definition,
+/// computed with per-event vector clocks over event counts — independent of
+/// the protocol's dependency vectors).
+class CausalGraph final : public Precedence {
+ public:
+  explicit CausalGraph(const CcpRecorder& recorder);
+
+  bool precedes(ProcessId a, CheckpointIndex alpha, ProcessId b,
+                CheckpointIndex beta) const override;
+
+ private:
+  using Clock = std::vector<std::uint64_t>;  // per-process event counts
+
+  const Clock& clock_of(ProcessId p, CheckpointIndex gamma) const;
+
+  std::size_t n_;
+  std::vector<std::vector<Clock>> checkpoint_clock_;  // [p][index]
+  std::vector<Clock> volatile_clock_;                 // [p]
+  /// Event-count position of each checkpoint event on its own process.
+  std::vector<std::vector<std::uint64_t>> checkpoint_pos_;
+  std::vector<std::uint64_t> volatile_pos_;  // current event count per process
+};
+
+}  // namespace rdtgc::ccp

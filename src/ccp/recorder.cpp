@@ -1,0 +1,132 @@
+#include "ccp/recorder.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::ccp {
+
+CcpRecorder::CcpRecorder(std::size_t n)
+    : checkpoints_(n),
+      volatile_dv_(n, causality::DependencyVector(n)),
+      next_serial_(n, 1) {
+  RDTGC_EXPECTS(n >= 1);
+}
+
+sim::MessageId CcpRecorder::new_message_id() {
+  messages_.emplace_back();
+  messages_.back().id = messages_.size();
+  return messages_.back().id;
+}
+
+void CcpRecorder::record_checkpoint(ProcessId p, CheckpointIndex idx,
+                                    const causality::DependencyVector& dv,
+                                    CheckpointKind kind, SimTime t) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < checkpoints_.size());
+  auto& list = checkpoints_[static_cast<std::size_t>(p)];
+  RDTGC_EXPECTS(idx == static_cast<CheckpointIndex>(list.size()));
+  RDTGC_EXPECTS(dv[p] == idx);
+  CheckpointInfo info;
+  info.process = p;
+  info.index = idx;
+  info.dv = dv;
+  info.kind = kind;
+  info.serial = next_serial_[static_cast<std::size_t>(p)]++;
+  info.gseq = next_gseq_++;
+  info.time = t;
+  list.push_back(std::move(info));
+  ++stats_.checkpoints_recorded;
+}
+
+void CcpRecorder::record_send(sim::Message& m, SimTime t) {
+  RDTGC_EXPECTS(m.id >= 1 && m.id <= messages_.size());
+  MessageInfo& info = messages_[m.id - 1];
+  RDTGC_EXPECTS(info.send_serial == 0);  // each id used once
+  info.src = m.src;
+  info.dst = m.dst;
+  info.send_interval = m.send_interval;
+  info.send_serial = next_serial_[static_cast<std::size_t>(m.src)]++;
+  info.send_gseq = next_gseq_++;
+  m.send_serial = info.send_serial;
+  (void)t;
+}
+
+void CcpRecorder::record_receive(const sim::Message& m,
+                                 IntervalIndex recv_interval, SimTime t) {
+  RDTGC_EXPECTS(m.id >= 1 && m.id <= messages_.size());
+  MessageInfo& info = messages_[m.id - 1];
+  RDTGC_EXPECTS(!info.delivered);
+  RDTGC_EXPECTS(info.send_serial != 0);  // must have been sent
+  info.delivered = true;
+  info.recv_interval = recv_interval;
+  info.recv_serial = next_serial_[static_cast<std::size_t>(m.dst)]++;
+  info.recv_gseq = next_gseq_++;
+  (void)t;
+}
+
+void CcpRecorder::set_volatile_dv(ProcessId p,
+                                  const causality::DependencyVector& dv) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < volatile_dv_.size());
+  RDTGC_EXPECTS(dv.size() == volatile_dv_.size());
+  volatile_dv_[static_cast<std::size_t>(p)] = dv;
+}
+
+void CcpRecorder::record_rollback(ProcessId p, CheckpointIndex ri, SimTime t) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < checkpoints_.size());
+  auto& list = checkpoints_[static_cast<std::size_t>(p)];
+  RDTGC_EXPECTS(ri >= 0 && ri < static_cast<CheckpointIndex>(list.size()));
+  const std::uint64_t cutoff = list[static_cast<std::size_t>(ri)].serial;
+
+  stats_.checkpoints_rolled_back += list.size() - (ri + 1);
+  list.resize(static_cast<std::size_t>(ri) + 1);
+
+  for (MessageInfo& m : messages_) {
+    if (m.src == p && m.send_alive && m.send_serial > cutoff) {
+      m.send_alive = false;
+      ++stats_.messages_rolled_back;
+    }
+    if (m.dst == p && m.delivered && m.recv_alive && m.recv_serial > cutoff)
+      m.recv_alive = false;
+  }
+  ++stats_.rollbacks;
+  (void)t;
+}
+
+const std::vector<CheckpointInfo>& CcpRecorder::checkpoints(
+    ProcessId p) const {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < checkpoints_.size());
+  return checkpoints_[static_cast<std::size_t>(p)];
+}
+
+const CheckpointInfo& CcpRecorder::checkpoint(ProcessId p,
+                                              CheckpointIndex idx) const {
+  const auto& list = checkpoints(p);
+  RDTGC_EXPECTS(idx >= 0 && idx < static_cast<CheckpointIndex>(list.size()));
+  return list[static_cast<std::size_t>(idx)];
+}
+
+CheckpointIndex CcpRecorder::last_stable(ProcessId p) const {
+  const auto& list = checkpoints(p);
+  RDTGC_EXPECTS(!list.empty());  // every process starts with s^0
+  return static_cast<CheckpointIndex>(list.size()) - 1;
+}
+
+const causality::DependencyVector& CcpRecorder::volatile_dv(
+    ProcessId p) const {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < volatile_dv_.size());
+  return volatile_dv_[static_cast<std::size_t>(p)];
+}
+
+const causality::DependencyVector& CcpRecorder::general_checkpoint_dv(
+    ProcessId p, CheckpointIndex gamma) const {
+  const CheckpointIndex last = last_stable(p);
+  RDTGC_EXPECTS(gamma >= 0 && gamma <= last + 1);
+  if (gamma <= last) return checkpoint(p, gamma).dv;
+  return volatile_dv(p);
+}
+
+bool CcpRecorder::audit_no_orphans() const {
+  for (const MessageInfo& m : messages_)
+    if (m.delivered && m.recv_alive && !m.send_alive) return false;
+  return true;
+}
+
+}  // namespace rdtgc::ccp

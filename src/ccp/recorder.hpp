@@ -1,0 +1,137 @@
+// Checkpoint-and-Communication-Pattern (CCP) recorder.
+//
+// The paper (§2.2) defines a CCP as the set of checkpoints taken by all
+// processes in a consistent cut plus the dependency relation created by the
+// exchanged messages (excluding lost and in-transit messages).  This recorder
+// observes a simulation and materializes its CCP so the offline analyses
+// (causal closure, zigzag closure, recovery lines, the Theorem-1 obsolete
+// oracle) can run against ground truth.
+//
+// Rollbacks: when a process rolls back to checkpoint RI, every event after
+// c^RI on that process is undone.  The recorder marks those checkpoints and
+// message endpoints dead; analyses consider only the live CCP.  Checkpoint
+// indices above RI are then reused by the re-execution, exactly as in the
+// paper's model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/dependency_vector.hpp"
+#include "causality/types.hpp"
+#include "sim/message.hpp"
+
+namespace rdtgc::ccp {
+
+enum class CheckpointKind { kInitial, kBasic, kForced };
+
+/// One recorded (live) checkpoint.
+struct CheckpointInfo {
+  ProcessId process = -1;
+  CheckpointIndex index = 0;
+  /// Dependency vector stored with the checkpoint (so dv[process] == index).
+  causality::DependencyVector dv;
+  CheckpointKind kind = CheckpointKind::kBasic;
+  /// Per-process event serial (monotonic, never reused across rollbacks).
+  std::uint64_t serial = 0;
+  /// Global recording sequence number (a linearization of the execution).
+  std::uint64_t gseq = 0;
+  SimTime time = 0;
+};
+
+/// One recorded message (live or not).
+struct MessageInfo {
+  sim::MessageId id = 0;
+  ProcessId src = -1;
+  ProcessId dst = -1;
+  IntervalIndex send_interval = 0;
+  IntervalIndex recv_interval = -1;  // valid iff delivered
+  std::uint64_t send_serial = 0;
+  std::uint64_t recv_serial = 0;
+  std::uint64_t send_gseq = 0;
+  std::uint64_t recv_gseq = 0;
+  bool delivered = false;
+  bool send_alive = true;  ///< send event not undone by a rollback
+  bool recv_alive = true;  ///< receive event not undone by a rollback
+
+  /// A message is part of the live CCP iff it was delivered and neither
+  /// endpoint has been rolled back.
+  bool live() const { return delivered && send_alive && recv_alive; }
+};
+
+class CcpRecorder {
+ public:
+  explicit CcpRecorder(std::size_t n);
+
+  std::size_t process_count() const { return volatile_dv_.size(); }
+
+  // ---- Recording API (driven by the simulation) ----
+
+  /// Allocate a fresh message id (dense, 1-based).
+  sim::MessageId new_message_id();
+
+  /// Record checkpoint c_p^idx with the DV stored alongside it.
+  /// Preconditions: idx is the next index for p, and dv[p] == idx.
+  void record_checkpoint(ProcessId p, CheckpointIndex idx,
+                         const causality::DependencyVector& dv,
+                         CheckpointKind kind, SimTime t);
+
+  /// Record the send of m (m.id must come from new_message_id);
+  /// fills m.send_serial.
+  void record_send(sim::Message& m, SimTime t);
+
+  /// Record delivery of m at its destination in `recv_interval`.
+  void record_receive(const sim::Message& m, IntervalIndex recv_interval,
+                      SimTime t);
+
+  /// Keep the volatile dependency vector DV(v_p) current (paper Eq. 3 uses
+  /// it); called by the node after every DV change.
+  void set_volatile_dv(ProcessId p, const causality::DependencyVector& dv);
+
+  /// Record that p rolled back to checkpoint `ri`: checkpoints with index
+  /// > ri die, as do message endpoints after c_p^ri.
+  void record_rollback(ProcessId p, CheckpointIndex ri, SimTime t);
+
+  // ---- Live-CCP queries ----
+
+  /// Live checkpoints of p, ascending by index; position == index.
+  const std::vector<CheckpointInfo>& checkpoints(ProcessId p) const;
+
+  const CheckpointInfo& checkpoint(ProcessId p, CheckpointIndex idx) const;
+
+  /// Index of p's last stable checkpoint (paper: last_s(p)); >= 0 always.
+  CheckpointIndex last_stable(ProcessId p) const;
+
+  /// DV(v_p), the volatile dependency vector.
+  const causality::DependencyVector& volatile_dv(ProcessId p) const;
+
+  /// DV of the *general* checkpoint c_p^γ (Eq. 1): the stored DV for
+  /// γ <= last_stable(p), the volatile DV for γ == last_stable(p)+1.
+  const causality::DependencyVector& general_checkpoint_dv(
+      ProcessId p, CheckpointIndex gamma) const;
+
+  /// All recorded messages (including lost/dead ones), by id order.
+  const std::vector<MessageInfo>& messages() const { return messages_; }
+
+  /// True iff no live receive has a dead send (an "orphan"); consistent
+  /// recovery lines guarantee this, so analyses may assume it.
+  bool audit_no_orphans() const;
+
+  struct Stats {
+    std::uint64_t checkpoints_recorded = 0;
+    std::uint64_t checkpoints_rolled_back = 0;
+    std::uint64_t messages_rolled_back = 0;
+    std::uint64_t rollbacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t next_gseq_ = 1;
+  std::vector<std::vector<CheckpointInfo>> checkpoints_;  // [p] live, by index
+  std::vector<causality::DependencyVector> volatile_dv_;  // [p]
+  std::vector<std::uint64_t> next_serial_;                // [p]
+  std::vector<MessageInfo> messages_;                     // by id-1
+  Stats stats_;
+};
+
+}  // namespace rdtgc::ccp

@@ -1,0 +1,196 @@
+#include "ccp/zigzag.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace rdtgc::ccp {
+
+ZigzagAnalysis::ZigzagAnalysis(const CcpRecorder& recorder)
+    : n_(recorder.process_count()) {
+  RDTGC_EXPECTS(recorder.audit_no_orphans());
+  build_graph(recorder);
+  condense();
+  compute_min_recv();
+}
+
+std::size_t ZigzagAnalysis::node_id(ProcessId p, IntervalIndex gamma) const {
+  const auto pi = static_cast<std::size_t>(p);
+  RDTGC_EXPECTS(pi < n_);
+  RDTGC_EXPECTS(gamma >= 0 && gamma <= last_stable_[pi] + 1);
+  return node_offset_[pi] + static_cast<std::size_t>(gamma);
+}
+
+void ZigzagAnalysis::build_graph(const CcpRecorder& recorder) {
+  last_stable_.resize(n_);
+  node_offset_.assign(n_ + 1, 0);
+  for (std::size_t p = 0; p < n_; ++p) {
+    last_stable_[p] = recorder.last_stable(static_cast<ProcessId>(p));
+    // Intervals 0 .. last+1 inclusive.
+    node_offset_[p + 1] =
+        node_offset_[p] + static_cast<std::size_t>(last_stable_[p]) + 2;
+  }
+  const std::size_t total = node_offset_[n_];
+  succ_.assign(total, {});
+  sends_at_.assign(total, {});
+
+  for (std::size_t p = 0; p < n_; ++p)
+    for (IntervalIndex g = 0; g < last_stable_[p] + 1; ++g)
+      succ_[node_id(static_cast<ProcessId>(p), g)].push_back(
+          node_id(static_cast<ProcessId>(p), g + 1));
+
+  for (const MessageInfo& m : recorder.messages()) {
+    if (!m.live()) continue;
+    const std::size_t from = node_id(m.src, m.send_interval);
+    const std::size_t to = node_id(m.dst, m.recv_interval);
+    succ_[from].push_back(to);
+    sends_at_[from].emplace_back(m.dst, m.recv_interval);
+  }
+}
+
+void ZigzagAnalysis::condense() {
+  // Iterative Tarjan SCC (explicit stack; recursion depth could reach the
+  // interval count on long chains).
+  const std::size_t total = succ_.size();
+  scc_of_.assign(total, SIZE_MAX);
+  std::vector<std::uint32_t> low(total, 0), disc(total, 0);
+  std::vector<bool> on_stack(total, false);
+  std::vector<std::size_t> stack;
+  std::uint32_t timer = 1;
+  std::size_t scc_count = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> frames;
+  for (std::size_t root = 0; root < total; ++root) {
+    if (disc[root] != 0) continue;
+    frames.push_back({root});
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < succ_[f.v].size()) {
+        const std::size_t w = succ_[f.v][f.edge++];
+        if (disc[w] == 0) {
+          disc[w] = low[w] = timer++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], disc[w]);
+        }
+      } else {
+        if (low[f.v] == disc[f.v]) {
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_of_[w] = scc_count;
+            if (w == f.v) break;
+          }
+          ++scc_count;
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+
+  // Condensed adjacency (dedup later).  Tarjan numbers components in reverse
+  // topological order: edges go from higher scc ids to lower-or-equal.
+  scc_succ_.assign(scc_count, {});
+  for (std::size_t v = 0; v < total; ++v)
+    for (std::size_t w : succ_[v])
+      if (scc_of_[v] != scc_of_[w]) scc_succ_[scc_of_[v]].push_back(scc_of_[w]);
+  for (auto& adj : scc_succ_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  // Reverse topological order == ascending Tarjan component id.
+  scc_topo_.resize(scc_count);
+  for (std::size_t c = 0; c < scc_count; ++c) scc_topo_[c] = c;
+}
+
+void ZigzagAnalysis::compute_min_recv() {
+  min_recv_.assign(scc_succ_.size(), std::vector<IntervalIndex>(n_, kNone));
+  // Local contributions: messages sent from nodes of this component.
+  for (std::size_t v = 0; v < succ_.size(); ++v)
+    for (const auto& [dst, recv_interval] : sends_at_[v]) {
+      IntervalIndex& slot =
+          min_recv_[scc_of_[v]][static_cast<std::size_t>(dst)];
+      slot = std::min(slot, recv_interval);
+    }
+  // DP in reverse topological order (successors first).
+  for (const std::size_t c : scc_topo_)
+    for (const std::size_t s : scc_succ_[c])
+      for (std::size_t b = 0; b < n_; ++b)
+        min_recv_[c][b] = std::min(min_recv_[c][b], min_recv_[s][b]);
+}
+
+bool ZigzagAnalysis::zigzag(ProcessId a, CheckpointIndex alpha, ProcessId b,
+                            CheckpointIndex beta) const {
+  const auto ai = static_cast<std::size_t>(a);
+  RDTGC_EXPECTS(ai < n_ && static_cast<std::size_t>(b) < n_);
+  RDTGC_EXPECTS(alpha >= 0 && alpha <= last_stable_[ai] + 1);
+  // Messages "sent after c_a^alpha" live in intervals >= alpha+1; none exist
+  // beyond the volatile interval.
+  if (alpha + 1 > last_stable_[ai] + 1) return false;
+  const std::size_t start = node_id(a, alpha + 1);
+  return min_recv_[scc_of_[start]][static_cast<std::size_t>(b)] <= beta;
+}
+
+std::vector<std::pair<ProcessId, CheckpointIndex>>
+ZigzagAnalysis::useless_stable_checkpoints() const {
+  std::vector<std::pair<ProcessId, CheckpointIndex>> out;
+  for (std::size_t p = 0; p < n_; ++p)
+    for (CheckpointIndex g = 0; g <= last_stable_[p]; ++g)
+      if (is_useless(static_cast<ProcessId>(p), g))
+        out.emplace_back(static_cast<ProcessId>(p), g);
+  return out;
+}
+
+std::vector<CheckpointIndex> ZigzagAnalysis::recovery_line(
+    const std::vector<bool>& faulty) const {
+  RDTGC_EXPECTS(faulty.size() == n_);
+  // Rollback propagation: undo the volatile interval of each faulty process,
+  // then everything R-graph-reachable from an undone interval.
+  std::vector<bool> undone(succ_.size(), false);
+  std::deque<std::size_t> frontier;
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (!faulty[p]) continue;
+    const std::size_t v =
+        node_id(static_cast<ProcessId>(p), last_stable_[p] + 1);
+    undone[v] = true;
+    frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (std::size_t w : succ_[v])
+      if (!undone[w]) {
+        undone[w] = true;
+        frontier.push_back(w);
+      }
+  }
+  std::vector<CheckpointIndex> line(n_);
+  for (std::size_t p = 0; p < n_; ++p) {
+    CheckpointIndex keep = last_stable_[p] + 1;  // volatile survives by default
+    for (IntervalIndex g = 0; g <= last_stable_[p] + 1; ++g) {
+      if (undone[node_id(static_cast<ProcessId>(p), g)]) {
+        keep = g - 1;  // interval g undone => restart from c^{g-1}
+        break;
+      }
+    }
+    RDTGC_ASSERT(keep >= 0);  // interval 0 precedes s^0 and has no events
+    line[p] = keep;
+  }
+  return line;
+}
+
+}  // namespace rdtgc::ccp

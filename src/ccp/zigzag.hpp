@@ -1,0 +1,83 @@
+// Zigzag-path analysis (Netzer & Xu [16]) over a recorded CCP, built on the
+// rollback-dependency graph (R-graph, Wang [20,21]).
+//
+// R-graph: one node per checkpoint interval I_p^γ (γ in 0..last_s(p)+1, the
+// last being the volatile interval); edges
+//   * I_p^γ → I_p^{γ+1}                  (program order), and
+//   * I_a^α → I_b^β for every live message sent in I_a^α, received in I_b^β.
+//
+// A zigzag path c_a^α ⇝ c_b^β exists iff, starting from I_a^{α+1}, the
+// R-graph reaches the send interval of some message received by p_b in an
+// interval ≤ β (the last hop must be a message edge).  We precompute, per
+// node u and destination process b, the minimum receive interval reachable:
+// min_recv[u][b]; a query is then a single comparison.  The graph may contain
+// cycles (that is exactly what Z-cycles are), so the computation condenses
+// strongly connected components first and runs a DP in reverse topological
+// order.
+//
+// The same reachability gives the classic rollback-propagation recovery line
+// (Wang et al. [21]): undo the volatile intervals of faulty processes,
+// propagate along R-graph edges, and take per process the last checkpoint
+// whose following interval survives.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ccp/recorder.hpp"
+
+namespace rdtgc::ccp {
+
+class ZigzagAnalysis {
+ public:
+  explicit ZigzagAnalysis(const CcpRecorder& recorder);
+
+  /// Zigzag-path existence between general checkpoints: c_a^α ⇝ c_b^β.
+  bool zigzag(ProcessId a, CheckpointIndex alpha, ProcessId b,
+              CheckpointIndex beta) const;
+
+  /// A checkpoint is useless iff a Z-cycle connects it to itself (§2.2).
+  bool is_useless(ProcessId p, CheckpointIndex idx) const {
+    return zigzag(p, idx, p, idx);
+  }
+
+  /// All useless *stable* live checkpoints, ordered by (process, index).
+  std::vector<std::pair<ProcessId, CheckpointIndex>> useless_stable_checkpoints()
+      const;
+
+  /// Rollback-propagation recovery line for the given faulty set: the
+  /// maximum consistent global checkpoint that excludes the volatile states
+  /// of faulty processes.  Entry last_s(p)+1 means "keep the volatile state".
+  /// Works on any CCP (RDT or not) — this is the generic algorithm the
+  /// paper's Lemma 1 specializes for RDT patterns.
+  std::vector<CheckpointIndex> recovery_line(
+      const std::vector<bool>& faulty) const;
+
+  std::size_t node_count() const { return node_offset_.back(); }
+
+ private:
+  std::size_t node_id(ProcessId p, IntervalIndex gamma) const;
+  void build_graph(const CcpRecorder& recorder);
+  void condense();  // Tarjan SCC
+  void compute_min_recv();
+
+  std::size_t n_;                             // process count
+  std::vector<CheckpointIndex> last_stable_;  // [p]
+  std::vector<std::size_t> node_offset_;      // [p] -> first node id; +1 end
+  std::vector<std::vector<std::size_t>> succ_;  // R-graph adjacency
+  /// Messages grouped by send node: (dst process, recv interval).
+  std::vector<std::vector<std::pair<ProcessId, IntervalIndex>>> sends_at_;
+
+  std::vector<std::size_t> scc_of_;               // node -> component
+  std::vector<std::vector<std::size_t>> scc_succ_;  // condensed DAG
+  std::vector<std::size_t> scc_topo_;               // reverse topological order
+  /// min_recv_[scc][b]: minimum receive interval on process b over messages
+  /// whose send node is reachable from this component (kNone if none).
+  std::vector<std::vector<IntervalIndex>> min_recv_;
+
+  static constexpr IntervalIndex kNone = INT32_MAX;
+};
+
+}  // namespace rdtgc::ccp

@@ -1,0 +1,60 @@
+#include "ckpt/checkpoint_store.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdtgc::ckpt {
+
+void CheckpointStore::put(StoredCheckpoint checkpoint) {
+  RDTGC_EXPECTS(checkpoint.index >= 0);
+  RDTGC_EXPECTS(stored_.empty() || checkpoint.index > stored_.rbegin()->first);
+  bytes_ += checkpoint.bytes;
+  ++stats_.stored;
+  stored_.emplace(checkpoint.index, std::move(checkpoint));
+  stats_.peak_count = std::max(stats_.peak_count, stored_.size());
+  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
+}
+
+bool CheckpointStore::contains(CheckpointIndex index) const {
+  return stored_.count(index) != 0;
+}
+
+const StoredCheckpoint& CheckpointStore::get(CheckpointIndex index) const {
+  auto it = stored_.find(index);
+  RDTGC_EXPECTS(it != stored_.end());
+  return it->second;
+}
+
+void CheckpointStore::collect(CheckpointIndex index) {
+  auto it = stored_.find(index);
+  RDTGC_EXPECTS(it != stored_.end());
+  bytes_ -= it->second.bytes;
+  stored_.erase(it);
+  ++stats_.collected;
+}
+
+std::size_t CheckpointStore::discard_after(CheckpointIndex ri) {
+  std::size_t discarded = 0;
+  for (auto it = stored_.upper_bound(ri); it != stored_.end();) {
+    bytes_ -= it->second.bytes;
+    it = stored_.erase(it);
+    ++discarded;
+  }
+  stats_.discarded += discarded;
+  return discarded;
+}
+
+std::vector<CheckpointIndex> CheckpointStore::stored_indices() const {
+  std::vector<CheckpointIndex> out;
+  out.reserve(stored_.size());
+  for (const auto& [index, checkpoint] : stored_) out.push_back(index);
+  return out;
+}
+
+CheckpointIndex CheckpointStore::last_index() const {
+  RDTGC_EXPECTS(!stored_.empty());
+  return stored_.rbegin()->first;
+}
+
+}  // namespace rdtgc::ckpt

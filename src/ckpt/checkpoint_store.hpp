@@ -1,0 +1,74 @@
+// Per-process stable-storage model for checkpoints (§2.2).
+//
+// Tracks what is currently stored, distinguishes garbage-collection
+// eliminations from rollback discards (they mean different things in the
+// evaluation), and maintains the peak-occupancy statistics the paper's
+// bounds are stated against (n per process steady, n+1 transient, §4.5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "causality/dependency_vector.hpp"
+#include "causality/types.hpp"
+
+namespace rdtgc::ckpt {
+
+/// One checkpoint resident in stable storage.
+struct StoredCheckpoint {
+  CheckpointIndex index = 0;
+  /// Dependency vector stored with the checkpoint (recovery needs it;
+  /// Algorithm 3 line 5 restores DV from it).
+  causality::DependencyVector dv;
+  SimTime stored_at = 0;
+  std::uint64_t bytes = 0;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(ProcessId owner) : owner_(owner) {}
+
+  ProcessId owner() const { return owner_; }
+
+  /// Store a new checkpoint; indices arrive in strictly increasing order
+  /// within a lineage (rollback may reintroduce previously-used indices
+  /// after discard_after()).
+  void put(StoredCheckpoint checkpoint);
+
+  bool contains(CheckpointIndex index) const;
+  const StoredCheckpoint& get(CheckpointIndex index) const;
+
+  /// Garbage-collection elimination of an obsolete checkpoint.
+  void collect(CheckpointIndex index);
+
+  /// Rollback discard of every checkpoint with index > ri (Algorithm 3
+  /// line 4).  Returns how many were discarded.
+  std::size_t discard_after(CheckpointIndex ri);
+
+  /// Currently stored indices, ascending.
+  std::vector<CheckpointIndex> stored_indices() const;
+
+  /// Highest stored index; store is never empty after the initial checkpoint.
+  CheckpointIndex last_index() const;
+
+  std::size_t count() const { return stored_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+
+  struct Stats {
+    std::uint64_t stored = 0;      ///< total put() calls
+    std::uint64_t collected = 0;   ///< GC eliminations
+    std::uint64_t discarded = 0;   ///< rollback discards
+    std::size_t peak_count = 0;    ///< max simultaneous checkpoints
+    std::uint64_t peak_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ProcessId owner_;
+  std::map<CheckpointIndex, StoredCheckpoint> stored_;
+  std::uint64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rdtgc::ckpt

@@ -1,0 +1,8 @@
+#include "ckpt/garbage_collector.hpp"
+
+namespace rdtgc::ckpt {
+
+void GarbageCollector::on_peer_recovery(const std::vector<IntervalIndex>&,
+                                        const causality::DependencyVector&) {}
+
+}  // namespace rdtgc::ckpt

@@ -1,0 +1,72 @@
+// Hook interface between the checkpointing middleware (ckpt::Node) and a
+// garbage-collection policy.
+//
+// The hook points are exactly the events of the paper's Algorithm 2/4:
+// a new causal dependency noticed at message receipt, a checkpoint stored,
+// and a rollback.  Asynchronous collectors (RDT-LGC) act inside these hooks;
+// synchronous baselines (coordinated collectors) ignore them and instead run
+// rounds driven by the simulator, eliminating through the same store.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/dependency_vector.hpp"
+#include "causality/types.hpp"
+#include "ckpt/checkpoint_store.hpp"
+
+namespace rdtgc::ckpt {
+
+/// Information handed to the collector when its process rolls back.
+struct RollbackInfo {
+  /// Index of the checkpoint the process restarted from (Algorithm 3's RI).
+  CheckpointIndex restored_index = 0;
+  /// Last-interval vector LI (LI[j] = last_s(j)+1 in the recovery-line cut)
+  /// when the recovery session had global information; std::nullopt selects
+  /// the causal-only variant of Algorithm 3 (LI replaced by DV).
+  std::optional<std::vector<IntervalIndex>> li;
+};
+
+class GarbageCollector {
+ public:
+  virtual ~GarbageCollector() = default;
+
+  /// Wire the collector to its process.  Called once, before the initial
+  /// checkpoint is stored.
+  virtual void initialize(ProcessId self, std::size_t process_count,
+                          CheckpointStore& store) = 0;
+
+  /// Algorithm 2 "on receiving m": DV[j] was just raised by a message.
+  virtual void on_new_dependency(ProcessId j) = 0;
+
+  /// Algorithm 2 "on taking checkpoint": checkpoint `index` (== DV[self] at
+  /// call time) was just stored; called before DV[self] is incremented.
+  virtual void on_checkpoint_stored(CheckpointIndex index) = 0;
+
+  /// Algorithm 3: this process rolled back.  `dv` is the already-restored
+  /// dependency vector (DV(s^RI) with DV[self] incremented).
+  virtual void on_rollback(const RollbackInfo& info,
+                           const causality::DependencyVector& dv) = 0;
+
+  /// Recovery session in which this process did NOT roll back (its volatile
+  /// state is part of the recovery line): with global information the paper
+  /// lets it release every UC[f] with DV[f] < LI[f].  Default: no-op.
+  virtual void on_peer_recovery(const std::vector<IntervalIndex>& li,
+                                const causality::DependencyVector& dv);
+
+  virtual std::string name() const = 0;
+};
+
+/// Baseline that never collects anything.
+class NoGc final : public GarbageCollector {
+ public:
+  void initialize(ProcessId, std::size_t, CheckpointStore&) override {}
+  void on_new_dependency(ProcessId) override {}
+  void on_checkpoint_stored(CheckpointIndex) override {}
+  void on_rollback(const RollbackInfo&,
+                   const causality::DependencyVector&) override {}
+  std::string name() const override { return "none"; }
+};
+
+}  // namespace rdtgc::ckpt

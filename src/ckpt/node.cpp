@@ -1,0 +1,100 @@
+#include "ckpt/node.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace rdtgc::ckpt {
+
+Node::Node(ProcessId self, std::size_t process_count,
+           sim::Simulator& simulator, sim::Network& network,
+           ccp::CcpRecorder& recorder,
+           std::unique_ptr<CheckpointingProtocol> protocol,
+           std::unique_ptr<GarbageCollector> gc, Config config)
+    : self_(self),
+      simulator_(simulator),
+      network_(network),
+      recorder_(recorder),
+      protocol_(std::move(protocol)),
+      gc_(std::move(gc)),
+      config_(config),
+      store_(self),
+      dv_(process_count) {
+  RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
+  RDTGC_EXPECTS(protocol_ != nullptr && gc_ != nullptr);
+  network_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
+  gc_->initialize(self_, process_count, store_);
+  // Every process starts its execution by storing a stable checkpoint s^0,
+  // ensuring at least one global recoverable state (§2.2).
+  take_checkpoint(ccp::CheckpointKind::kInitial);
+}
+
+sim::MessageId Node::send_app_message(ProcessId dst, std::uint64_t bytes) {
+  RDTGC_EXPECTS(dst != self_);
+  sim::Message m;
+  m.src = self_;
+  m.dst = dst;
+  m.dv = dv_;
+  m.send_interval = dv_[self_];
+  m.bytes = bytes;
+  m.id = recorder_.new_message_id();
+  recorder_.record_send(m, simulator_.now());
+  sent_since_checkpoint_ = true;
+  ++counters_.messages_sent;
+  return network_.send(std::move(m));
+}
+
+void Node::take_basic_checkpoint() {
+  take_checkpoint(ccp::CheckpointKind::kBasic);
+  ++counters_.basic_checkpoints;
+}
+
+void Node::on_receive(const sim::Message& m) {
+  RDTGC_EXPECTS(m.dst == self_);
+  // Messages can never carry fresher information about the receiver than the
+  // receiver itself holds.
+  RDTGC_ASSERT(m.dv[self_] <= dv_[self_]);
+
+  if (protocol_->must_force(dv_, m.dv, sent_since_checkpoint_)) {
+    take_checkpoint(ccp::CheckpointKind::kForced);
+    ++counters_.forced_checkpoints;
+  }
+  ++counters_.messages_received;
+  recorder_.record_receive(m, dv_[self_], simulator_.now());
+  const std::vector<ProcessId> changed = dv_.merge(m.dv);
+  recorder_.set_volatile_dv(self_, dv_);
+  for (const ProcessId j : changed) gc_->on_new_dependency(j);
+}
+
+void Node::take_checkpoint(ccp::CheckpointKind kind) {
+  const CheckpointIndex index = dv_[self_];
+  store_.put(StoredCheckpoint{index, dv_, simulator_.now(),
+                              config_.checkpoint_bytes});
+  recorder_.record_checkpoint(self_, index, dv_, kind, simulator_.now());
+  gc_->on_checkpoint_stored(index);
+  dv_.at(self_) += 1;
+  sent_since_checkpoint_ = false;
+  recorder_.set_volatile_dv(self_, dv_);
+  RDTGC_DEBUG("p" << self_ << " checkpoint " << index << " dv="
+                  << dv_.to_string());
+}
+
+void Node::rollback_to(CheckpointIndex ri,
+                       const std::optional<std::vector<IntervalIndex>>& li) {
+  RDTGC_EXPECTS(store_.contains(ri));
+  ++counters_.rollbacks;
+  recorder_.record_rollback(self_, ri, simulator_.now());
+  store_.discard_after(ri);                // Algorithm 3 line 4
+  dv_ = store_.get(ri).dv;                 // line 5: recreate DV
+  dv_.at(self_) += 1;                      // line 6
+  sent_since_checkpoint_ = false;
+  recorder_.set_volatile_dv(self_, dv_);
+  gc_->on_rollback(RollbackInfo{ri, li}, dv_);  // lines 7-17
+}
+
+void Node::peer_recovery(const std::vector<IntervalIndex>& li) {
+  gc_->on_peer_recovery(li, dv_);
+}
+
+}  // namespace rdtgc::ckpt

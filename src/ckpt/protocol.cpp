@@ -1,0 +1,73 @@
+#include "ckpt/protocol.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::ckpt {
+
+namespace {
+
+class Uncoordinated final : public CheckpointingProtocol {
+ public:
+  bool must_force(const causality::DependencyVector&,
+                  const causality::DependencyVector&, bool) const override {
+    return false;
+  }
+  bool ensures_rdt() const override { return false; }
+  std::string name() const override { return "uncoordinated"; }
+};
+
+class Fdi final : public CheckpointingProtocol {
+ public:
+  bool must_force(const causality::DependencyVector& dv,
+                  const causality::DependencyVector& message_dv,
+                  bool) const override {
+    return dv.has_new_dependency_from(message_dv);
+  }
+  bool ensures_rdt() const override { return true; }
+  std::string name() const override { return "FDI"; }
+};
+
+class Fdas final : public CheckpointingProtocol {
+ public:
+  bool must_force(const causality::DependencyVector& dv,
+                  const causality::DependencyVector& message_dv,
+                  bool sent_since_checkpoint) const override {
+    return sent_since_checkpoint && dv.has_new_dependency_from(message_dv);
+  }
+  bool ensures_rdt() const override { return true; }
+  std::string name() const override { return "FDAS"; }
+};
+
+class Mrs final : public CheckpointingProtocol {
+ public:
+  bool must_force(const causality::DependencyVector&,
+                  const causality::DependencyVector&,
+                  bool sent_since_checkpoint) const override {
+    return sent_since_checkpoint;
+  }
+  bool ensures_rdt() const override { return true; }
+  std::string name() const override { return "MRS"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CheckpointingProtocol> make_protocol(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kUncoordinated:
+      return std::make_unique<Uncoordinated>();
+    case ProtocolKind::kFdi:
+      return std::make_unique<Fdi>();
+    case ProtocolKind::kFdas:
+      return std::make_unique<Fdas>();
+    case ProtocolKind::kMrs:
+      return std::make_unique<Mrs>();
+  }
+  RDTGC_ASSERT(false);
+  return nullptr;
+}
+
+std::string protocol_kind_name(ProtocolKind kind) {
+  return make_protocol(kind)->name();
+}
+
+}  // namespace rdtgc::ckpt

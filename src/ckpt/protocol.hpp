@@ -1,0 +1,62 @@
+// Communication-induced checkpointing protocols.
+//
+// A protocol decides, at message receipt, whether a *forced* checkpoint must
+// be taken before delivery (§1, §2.3).  All protocols here piggyback exactly
+// the transitive dependency vector — the same control information RDT-LGC
+// consumes, which is the paper's premise (§4.2, §4.5).
+//
+// Implemented protocols:
+//  * Uncoordinated — never forces.  NOT an RDT protocol; used to demonstrate
+//    useless checkpoints and the domino effect (Figure 2).
+//  * FDI  (Fixed-Dependency-Interval, Wang [20]) — the dependency vector must
+//    stay fixed over a whole interval: force whenever a message brings any
+//    new dependency.
+//  * FDAS (Fixed-Dependency-After-Send, Wang [20]; the paper's Algorithm 4)
+//    — the vector must stay fixed only after the interval's first send:
+//    force iff a send occurred in the current interval AND the message brings
+//    a new dependency.  (The paper's Algorithm 4 pseudocode initializes
+//    `forced <- true` but declares and maintains a `sent` flag it never
+//    reads; FDAS requires `forced <- sent`, which is what we implement.  FDI
+//    covers the literal reading.)
+//  * MRS  (Mark-Receive-Send, Russell 1980) — no receive may follow a send
+//    inside an interval: force iff a send occurred in the current interval,
+//    regardless of the timestamp.  Every interval is then receive-before-
+//    send, so all zigzag paths are causal and RDT holds trivially.
+//
+// FDI, FDAS, and MRS all ensure RDT (property-tested against the zigzag
+// oracle); they differ in how many forced checkpoints they pay (bench T-C).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "causality/dependency_vector.hpp"
+
+namespace rdtgc::ckpt {
+
+enum class ProtocolKind { kUncoordinated, kFdi, kFdas, kMrs };
+
+/// Forced-checkpoint policy evaluated before delivering a message.
+class CheckpointingProtocol {
+ public:
+  virtual ~CheckpointingProtocol() = default;
+
+  /// Must the receiver take a forced checkpoint before delivering a message
+  /// carrying timestamp `message_dv`?  `dv` is the receiver's current vector
+  /// and `sent_since_checkpoint` its Algorithm-4 `sent` flag.
+  virtual bool must_force(const causality::DependencyVector& dv,
+                          const causality::DependencyVector& message_dv,
+                          bool sent_since_checkpoint) const = 0;
+
+  /// True for protocols that guarantee rollback-dependency trackability.
+  virtual bool ensures_rdt() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<CheckpointingProtocol> make_protocol(ProtocolKind kind);
+
+/// For parameterized tests/benches.
+std::string protocol_kind_name(ProtocolKind kind);
+
+}  // namespace rdtgc::ckpt

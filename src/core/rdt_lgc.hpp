@@ -1,0 +1,75 @@
+// RDT-LGC — the paper's optimal asynchronous garbage collector
+// (Algorithms 1-3; §4).
+//
+// During normal execution (Algorithm 2) the collector reacts to exactly two
+// events of the checkpointing middleware:
+//   * a new causal dependency from p_j observed at message receipt:
+//       release(j); link(j, self)      — p_j now pins the *last* local
+//                                        stable checkpoint (Theorem 2);
+//   * a new local checkpoint stored:
+//       release(self); newCCB(self, index).
+// A checkpoint is eliminated the moment no UC entry references its CCB,
+// which is precisely the Corollary-1 condition.  Safety (only obsolete
+// checkpoints are collected, Theorems 3-4) and optimality (nothing more can
+// be collected from causal knowledge, Theorem 5) are property-tested against
+// the CCP oracles.
+//
+// On rollback (Algorithm 3) the table is rebuilt from the surviving stored
+// checkpoints, using the recovery line's LI vector when the recovery session
+// has global information, or the restored dependency vector otherwise.
+// Line 9's search is implemented with a binary search over the stored
+// checkpoints (DV(s^γ)[f] is non-decreasing in γ), giving the O(n log n)
+// bound of §4.5; a linear variant exists for the complexity ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/garbage_collector.hpp"
+#include "core/uc_table.hpp"
+
+namespace rdtgc::core {
+
+class RdtLgc final : public ckpt::GarbageCollector {
+ public:
+  /// Rollback-rebuild search strategy (§4.5 discusses both complexities).
+  enum class RollbackSearch { kBinary, kLinear };
+
+  explicit RdtLgc(RollbackSearch search = RollbackSearch::kBinary)
+      : search_(search) {}
+
+  void initialize(ProcessId self, std::size_t process_count,
+                  ckpt::CheckpointStore& store) override;
+  void on_new_dependency(ProcessId j) override;
+  void on_checkpoint_stored(CheckpointIndex index) override;
+  void on_rollback(const ckpt::RollbackInfo& info,
+                   const causality::DependencyVector& dv) override;
+  void on_peer_recovery(const std::vector<IntervalIndex>& li,
+                        const causality::DependencyVector& dv) override;
+  std::string name() const override { return "RDT-LGC"; }
+
+  /// The UC table (read-only), e.g. for the Figure 4 trace.
+  const UcTable& uc() const;
+
+  /// Total checkpoints this collector eliminated.
+  std::uint64_t collected() const { return collected_; }
+
+ private:
+  /// Latest stored checkpoint γ with DV(s^γ)[f] < bound, if any, searching
+  /// the pre-materialized (indices, dvs) arrays.  Binary search gives the
+  /// O(n log n) rollback of §4.5; the linear variant is the O(n^2) ablation.
+  std::optional<CheckpointIndex> latest_not_preceded(
+      ProcessId f, IntervalIndex bound,
+      const std::vector<CheckpointIndex>& stored,
+      const std::vector<const causality::DependencyVector*>& dvs) const;
+
+  RollbackSearch search_;
+  ProcessId self_ = -1;
+  std::size_t n_ = 0;
+  ckpt::CheckpointStore* store_ = nullptr;
+  std::optional<UcTable> uc_;
+  std::uint64_t collected_ = 0;
+};
+
+}  // namespace rdtgc::core

@@ -1,0 +1,114 @@
+#include "core/uc_table.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rdtgc::core {
+
+UcTable::UcTable(std::size_t process_count, EliminateFn eliminate)
+    : eliminate_(std::move(eliminate)), uc_(process_count) {
+  RDTGC_EXPECTS(process_count >= 1);
+  RDTGC_EXPECTS(eliminate_ != nullptr);
+}
+
+void UcTable::release(ProcessId j) {
+  RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
+  auto& slot = uc_[static_cast<std::size_t>(j)];
+  if (!slot.has_value()) return;  // Algorithm 1: no-op on Null
+  auto it = ccb_.find(*slot);
+  RDTGC_ASSERT(it != ccb_.end() && it->second >= 1);
+  if (--it->second == 0) {
+    const CheckpointIndex index = it->first;
+    ccb_.erase(it);
+    slot.reset();
+    eliminate_(index);
+    return;
+  }
+  slot.reset();
+}
+
+void UcTable::link(ProcessId j, ProcessId i) {
+  RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
+  RDTGC_EXPECTS(i >= 0 && static_cast<std::size_t>(i) < uc_.size());
+  const auto& src = uc_[static_cast<std::size_t>(i)];
+  RDTGC_EXPECTS(src.has_value());
+  auto& dst = uc_[static_cast<std::size_t>(j)];
+  RDTGC_EXPECTS(!dst.has_value());
+  dst = src;
+  auto it = ccb_.find(*src);
+  RDTGC_ASSERT(it != ccb_.end());
+  ++it->second;
+}
+
+void UcTable::new_ccb(ProcessId j, CheckpointIndex index) {
+  RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
+  auto& slot = uc_[static_cast<std::size_t>(j)];
+  RDTGC_EXPECTS(!slot.has_value());
+  const auto [it, inserted] = ccb_.emplace(index, 1);
+  RDTGC_EXPECTS(inserted);
+  (void)it;
+  slot = index;
+}
+
+void UcTable::clear() {
+  for (auto& slot : uc_) slot.reset();
+  ccb_.clear();
+}
+
+void UcTable::add_ccb(CheckpointIndex index) {
+  const auto [it, inserted] = ccb_.emplace(index, 0);
+  RDTGC_EXPECTS(inserted);
+  (void)it;
+}
+
+void UcTable::reference(ProcessId f, CheckpointIndex index) {
+  RDTGC_EXPECTS(f >= 0 && static_cast<std::size_t>(f) < uc_.size());
+  auto& slot = uc_[static_cast<std::size_t>(f)];
+  RDTGC_EXPECTS(!slot.has_value());
+  auto it = ccb_.find(index);
+  RDTGC_EXPECTS(it != ccb_.end());
+  ++it->second;
+  slot = index;
+}
+
+void UcTable::drop_zero_count() {
+  for (auto it = ccb_.begin(); it != ccb_.end();) {
+    if (it->second == 0) {
+      const CheckpointIndex index = it->first;
+      it = ccb_.erase(it);
+      eliminate_(index);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<CheckpointIndex> UcTable::entry(ProcessId j) const {
+  RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
+  return uc_[static_cast<std::size_t>(j)];
+}
+
+int UcTable::ref_count(CheckpointIndex index) const {
+  auto it = ccb_.find(index);
+  return it == ccb_.end() ? 0 : it->second;
+}
+
+std::vector<CheckpointIndex> UcTable::tracked_checkpoints() const {
+  std::vector<CheckpointIndex> out;
+  out.reserve(ccb_.size());
+  for (const auto& [index, count] : ccb_) out.push_back(index);
+  return out;
+}
+
+std::string UcTable::to_string() const {
+  std::string out = "(";
+  for (std::size_t j = 0; j < uc_.size(); ++j) {
+    if (j) out += ", ";
+    out += uc_[j].has_value() ? std::to_string(*uc_[j]) : "*";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rdtgc::core

@@ -1,0 +1,82 @@
+// Algorithm 1 of the paper: the Uncollected-Checkpoints table (UC) and
+// Checkpoint Control Blocks (CCB).
+//
+// UC[f] names the checkpoint this process retains *because of* process p_f
+// (Theorem 2: the most recent local checkpoint not causally preceded by
+// s_f^lastk).  Several UC entries may pin the same checkpoint, so each
+// retained checkpoint has one CCB holding a reference count; when the count
+// drops to zero the checkpoint is obsolete and is eliminated through the
+// callback.
+//
+// The paper manipulates CCBs through pointers; we keep the identical
+// semantics with an index-keyed map (a CCB is uniquely identified by its
+// checkpoint index), which gives the same O(1) operations without shared-
+// ownership machinery.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/types.hpp"
+
+namespace rdtgc::core {
+
+class UcTable {
+ public:
+  /// Called when a reference count reaches zero: the checkpoint is obsolete.
+  using EliminateFn = std::function<void(CheckpointIndex)>;
+
+  UcTable(std::size_t process_count, EliminateFn eliminate);
+
+  // ---- Algorithm 1 procedures ----
+
+  /// `release(j)`: drop UC[j]'s reference; eliminate the checkpoint if the
+  /// count reaches zero.
+  void release(ProcessId j);
+
+  /// `link(j, i)`: make UC[j] reference the same CCB as UC[i] (which must be
+  /// set) and increment its count.  Precondition: UC[j] is Null (callers
+  /// release(j) first, as Algorithm 2 does).
+  void link(ProcessId j, ProcessId i);
+
+  /// `newCCB(j, ind)`: create a CCB for checkpoint `ind` with count 1 and
+  /// make UC[j] reference it.  Precondition: UC[j] is Null and no CCB for
+  /// `ind` exists.
+  void new_ccb(ProcessId j, CheckpointIndex index);
+
+  // ---- Algorithm 3 support (rollback rebuild) ----
+
+  /// Forget every entry and CCB without eliminating anything (the rolled-
+  /// back storage state is rebuilt from scratch, Algorithm 3 line 7).
+  void clear();
+
+  /// Register a CCB with count 0 (Algorithm 3 line 7).
+  void add_ccb(CheckpointIndex index);
+
+  /// UC[f] <- CCB of `index`; count++ (Algorithm 3 lines 11-12).
+  /// Precondition: UC[f] is Null and the CCB exists.
+  void reference(ProcessId f, CheckpointIndex index);
+
+  /// Eliminate every checkpoint whose count is 0 (Algorithm 3 lines 15-17).
+  void drop_zero_count();
+
+  // ---- Introspection ----
+
+  std::optional<CheckpointIndex> entry(ProcessId j) const;
+  /// Reference count of the CCB for `index` (0 if no such CCB).
+  int ref_count(CheckpointIndex index) const;
+  /// Distinct checkpoints currently referenced by a CCB, ascending.
+  std::vector<CheckpointIndex> tracked_checkpoints() const;
+  /// Render like the paper's Figure 4: "(0, 3, *)" (* = Null).
+  std::string to_string() const;
+
+ private:
+  EliminateFn eliminate_;
+  std::vector<std::optional<CheckpointIndex>> uc_;
+  std::map<CheckpointIndex, int> ccb_;  // checkpoint -> reference count
+};
+
+}  // namespace rdtgc::core

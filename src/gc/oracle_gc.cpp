@@ -1,0 +1,33 @@
+#include "gc/oracle_gc.hpp"
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc::gc {
+
+OracleGcDriver::OracleGcDriver(ccp::CcpRecorder& recorder,
+                               std::vector<ckpt::Node*> nodes)
+    : recorder_(recorder), nodes_(std::move(nodes)) {
+  RDTGC_EXPECTS(!nodes_.empty());
+  RDTGC_EXPECTS(nodes_.size() == recorder_.process_count());
+}
+
+std::uint64_t OracleGcDriver::sweep() {
+  const ccp::DvPrecedence causal(recorder_);
+  const auto obsolete = ccp::obsolete_theorem1(recorder_, causal);
+  std::uint64_t count = 0;
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    for (const CheckpointIndex g : nodes_[p]->store().stored_indices()) {
+      if (g < static_cast<CheckpointIndex>(obsolete[p].size()) &&
+          obsolete[p][static_cast<std::size_t>(g)]) {
+        nodes_[p]->store().collect(g);
+        ++count;
+      }
+    }
+  }
+  collected_ += count;
+  return count;
+}
+
+}  // namespace rdtgc::gc

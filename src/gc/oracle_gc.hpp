@@ -1,0 +1,39 @@
+// Theorem-1 oracle collector: after every batch of simulator events it
+// eliminates, with zero latency and zero messages, every checkpoint the
+// paper's Theorem 1 marks obsolete on the instantaneous global cut.
+//
+// No real system can implement this (it assumes free global knowledge); it
+// exists to measure the *optimality gap* of asynchronous collection — the
+// checkpoints RDT-LGC must retain only because causal knowledge has not yet
+// reached their owner (e.g. s_2^1 in the paper's Figure 4 discussion).
+// Theorem 5 says this gap is irreducible without control messages or time
+// assumptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ccp/recorder.hpp"
+#include "ckpt/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdtgc::gc {
+
+class OracleGcDriver {
+ public:
+  OracleGcDriver(ccp::CcpRecorder& recorder, std::vector<ckpt::Node*> nodes);
+
+  /// Evaluate Theorem 1 now and collect everything obsolete.
+  /// Returns the number of checkpoints collected.
+  std::uint64_t sweep();
+
+  std::uint64_t collected() const { return collected_; }
+
+ private:
+  ccp::CcpRecorder& recorder_;
+  std::vector<ckpt::Node*> nodes_;
+  std::uint64_t collected_ = 0;
+};
+
+}  // namespace rdtgc::gc

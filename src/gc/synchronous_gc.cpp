@@ -1,0 +1,96 @@
+#include "gc/synchronous_gc.hpp"
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc::gc {
+
+SynchronousGcDriver::SynchronousGcDriver(sim::Simulator& simulator,
+                                         ccp::CcpRecorder& recorder,
+                                         std::vector<ckpt::Node*> nodes,
+                                         Config config)
+    : simulator_(simulator),
+      recorder_(recorder),
+      nodes_(std::move(nodes)),
+      config_(config) {
+  RDTGC_EXPECTS(!nodes_.empty());
+  RDTGC_EXPECTS(nodes_.size() == recorder_.process_count());
+  RDTGC_EXPECTS(config_.period >= 1);
+}
+
+std::string SynchronousGcDriver::name() const {
+  switch (config_.policy) {
+    case SyncGcPolicy::kWangTheorem1:
+      return "coordinated-Wang95";
+    case SyncGcPolicy::kRecoveryLine:
+      return "recovery-line";
+  }
+  RDTGC_ASSERT(false);
+  return {};
+}
+
+void SynchronousGcDriver::start(SimTime until) {
+  if (simulator_.now() + config_.period > until) return;
+  simulator_.after(config_.period, [this, until] {
+    round();
+    start(until);
+  });
+}
+
+std::vector<std::vector<CheckpointIndex>> SynchronousGcDriver::plan_round()
+    const {
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<CheckpointIndex>> plan(n);
+  const ccp::DvPrecedence causal(recorder_);
+
+  if (config_.policy == SyncGcPolicy::kWangTheorem1) {
+    const auto obsolete = ccp::obsolete_theorem1(recorder_, causal);
+    for (std::size_t p = 0; p < n; ++p)
+      for (const CheckpointIndex g : nodes_[p]->store().stored_indices())
+        if (g < static_cast<CheckpointIndex>(obsolete[p].size()) &&
+            obsolete[p][static_cast<std::size_t>(g)])
+          plan[p].push_back(g);
+    return plan;
+  }
+
+  // kRecoveryLine: the line for F = Π; discard strictly-older checkpoints.
+  std::vector<bool> all_faulty(n, true);
+  const std::vector<CheckpointIndex> line =
+      ccp::recovery_line_lemma1(recorder_, causal, all_faulty);
+  for (std::size_t p = 0; p < n; ++p)
+    for (const CheckpointIndex g : nodes_[p]->store().stored_indices())
+      if (g < line[p]) plan[p].push_back(g);
+  return plan;
+}
+
+void SynchronousGcDriver::round() {
+  ++stats_.rounds;
+  // Gather (n polls + n replies) and later n releases.
+  stats_.control_messages += 3 * nodes_.size();
+
+  std::vector<std::vector<CheckpointIndex>> plan = plan_round();
+  std::vector<std::uint64_t> lineage(nodes_.size());
+  for (std::size_t p = 0; p < nodes_.size(); ++p)
+    lineage[p] = nodes_[p]->counters().rollbacks;
+
+  simulator_.after(config_.notify_delay,
+                   [this, plan = std::move(plan), lineage = std::move(lineage)] {
+    for (std::size_t p = 0; p < nodes_.size(); ++p) {
+      if (nodes_[p]->counters().rollbacks != lineage[p]) {
+        // The lineage changed: indices may have been reused; drop the round
+        // for this process.
+        ++stats_.stale_rounds_dropped;
+        continue;
+      }
+      for (const CheckpointIndex g : plan[p]) {
+        if (nodes_[p]->store().contains(g)) {
+          nodes_[p]->store().collect(g);
+          ++stats_.collected;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace rdtgc::gc

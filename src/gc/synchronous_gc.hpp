@@ -1,0 +1,78 @@
+// Synchronous (coordinated) garbage-collection baselines from the paper's
+// related work (§5), used as comparison points for RDT-LGC:
+//
+//  * kWangTheorem1 — Wang, Chung, Lin & Fuchs [21]: a coordinator gathers
+//    global dependency information and discards ALL obsolete checkpoints
+//    (our implementation evaluates Theorem 1 on the recorded CCP, which is
+//    the same characterization the paper derives from [21]).  Global bound:
+//    n(n+1)/2 stored checkpoints.
+//  * kRecoveryLine — Bhargava & Lian [5] / Elnozahy et al. [8]: compute the
+//    recovery line for the failure of *all* processes and discard every
+//    checkpoint strictly older than it.  Simple, but does not bound the
+//    number of uncollected checkpoints.
+//
+// Both require process synchronization.  We idealize the snapshot: the
+// coordinator reads a consistent cut instantaneously (the simulator's
+// current state), which is the baselines' BEST case — the comparison is
+// conservative in their favour.  Release notifications still pay a
+// configurable latency, and control-message traffic is accounted
+// (2n gather + n release per round).  Rounds whose target process rolled
+// back between snapshot and apply are dropped: checkpoint indices are reused
+// across rollbacks, so a stale round could otherwise collect a checkpoint of
+// the new lineage.  (Eliminations themselves stay safe across normal
+// execution because obsolete checkpoints remain obsolete — the paper's
+// Claims 1 and 2.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ccp/recorder.hpp"
+#include "ckpt/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdtgc::gc {
+
+enum class SyncGcPolicy { kWangTheorem1, kRecoveryLine };
+
+class SynchronousGcDriver {
+ public:
+  struct Config {
+    SyncGcPolicy policy = SyncGcPolicy::kWangTheorem1;
+    SimTime period = 200;        ///< time between collection rounds
+    SimTime notify_delay = 10;   ///< snapshot -> elimination latency
+  };
+
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t collected = 0;
+    std::uint64_t control_messages = 0;
+    std::uint64_t stale_rounds_dropped = 0;
+  };
+
+  SynchronousGcDriver(sim::Simulator& simulator, ccp::CcpRecorder& recorder,
+                      std::vector<ckpt::Node*> nodes, Config config);
+
+  /// Schedule periodic rounds until `until` (simulated time).
+  void start(SimTime until);
+
+  /// Run one round immediately (snapshot now, apply after notify_delay).
+  void round();
+
+  const Stats& stats() const { return stats_; }
+  std::string name() const;
+
+ private:
+  /// Per process, the stored checkpoint indices the policy wants eliminated.
+  std::vector<std::vector<CheckpointIndex>> plan_round() const;
+
+  sim::Simulator& simulator_;
+  ccp::CcpRecorder& recorder_;
+  std::vector<ckpt::Node*> nodes_;
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace rdtgc::gc

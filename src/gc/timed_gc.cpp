@@ -1,0 +1,41 @@
+#include "gc/timed_gc.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::gc {
+
+TimedGcDriver::TimedGcDriver(sim::Simulator& simulator,
+                             std::vector<ckpt::Node*> nodes, Config config)
+    : simulator_(simulator), nodes_(std::move(nodes)), config_(config) {
+  RDTGC_EXPECTS(!nodes_.empty());
+  RDTGC_EXPECTS(config_.period >= 1);
+}
+
+void TimedGcDriver::start(SimTime until) {
+  if (simulator_.now() + config_.period > until) return;
+  simulator_.after(config_.period, [this, until] {
+    round();
+    start(until);
+  });
+}
+
+std::uint64_t TimedGcDriver::round() {
+  const SimTime now = simulator_.now();
+  if (now <= config_.retention) return 0;
+  const SimTime horizon = now - config_.retention;
+  std::uint64_t count = 0;
+  for (ckpt::Node* node : nodes_) {
+    const auto indices = node->store().stored_indices();
+    for (const CheckpointIndex g : indices) {
+      if (g == node->store().last_index()) continue;  // keep the newest
+      if (node->store().get(g).stored_at < horizon) {
+        node->store().collect(g);
+        ++count;
+      }
+    }
+  }
+  collected_ += count;
+  return count;
+}
+
+}  // namespace rdtgc::gc

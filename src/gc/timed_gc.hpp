@@ -1,0 +1,52 @@
+// Time-based garbage collection strawman — the ablation motivating the
+// paper's rejection of time assumptions.
+//
+// Manivannan & Singhal [14] collect checkpoints using knowledge of *when*
+// processes take basic checkpoints; in an asynchronous system such
+// assumptions are unfounded (§1, §5).  This driver caricatures the family:
+// every `period`, each process discards stable checkpoints older than
+// `retention` ticks (always keeping its most recent one).  That is SAFE
+// only if every process's relevant knowledge propagates within `retention`;
+// a quiet or slow process breaks the assumption and the collector then
+// destroys a checkpoint that a future recovery line needs.
+//
+// The abl_timed_gc bench constructs exactly that failure and shows the
+// Theorem-1 oracle flagging it — RDT-LGC on the same history keeps the
+// checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ckpt/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdtgc::gc {
+
+class TimedGcDriver {
+ public:
+  struct Config {
+    SimTime period = 200;
+    SimTime retention = 1000;  ///< assumed propagation bound (unfounded!)
+  };
+
+  TimedGcDriver(sim::Simulator& simulator, std::vector<ckpt::Node*> nodes,
+                Config config);
+
+  /// Schedule periodic rounds until `until`.
+  void start(SimTime until);
+
+  /// Run one round now.  Returns checkpoints collected.
+  std::uint64_t round();
+
+  std::uint64_t collected() const { return collected_; }
+
+ private:
+  sim::Simulator& simulator_;
+  std::vector<ckpt::Node*> nodes_;
+  Config config_;
+  std::uint64_t collected_ = 0;
+};
+
+}  // namespace rdtgc::gc

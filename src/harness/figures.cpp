@@ -1,0 +1,174 @@
+#include "harness/figures.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::harness::figures {
+
+namespace {
+
+/// Scenario action helpers that also notify the observer.
+struct Script {
+  Scenario& scenario;
+  const StepObserver& observer;
+
+  void observe(const std::string& step) {
+    if (observer) observer(scenario, step);
+  }
+  void send(ProcessId p, ProcessId dst, const std::string& label) {
+    scenario.send(p, dst, label);
+    observe("p" + std::to_string(p + 1) + " sends " + label + " to p" +
+            std::to_string(dst + 1));
+  }
+  void deliver(const std::string& label) {
+    scenario.deliver(label);
+    observe("deliver " + label);
+  }
+  void checkpoint(ProcessId p) {
+    scenario.checkpoint(p);
+    observe("p" + std::to_string(p + 1) + " takes checkpoint s^" +
+            std::to_string(scenario.node(p).last_checkpoint_index()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> figure1(bool include_m3,
+                                  const StepObserver& observer) {
+  // Paper p1,p2,p3 = code 0,1,2.  Pattern (derived in DESIGN.md §5):
+  //   p1: send m1 | s_1^1 | send m5, send m3
+  //   p2: recv m1, send m2 | s_2^1 | send m4, recv m5
+  //   p3: recv m2 | s_3^1 | recv m3, recv m4 | s_3^2
+  // m2 is sent *before* s_2^1 (else [m5,m2] would be an undoubled Z-path
+  // into s_3^1 and the pattern would not be RDT).
+  auto scenario = std::make_unique<Scenario>(
+      3, ckpt::ProtocolKind::kUncoordinated, GcChoice::kNone);
+  Script s{*scenario, observer};
+  s.send(0, 1, "m1");
+  s.checkpoint(0);  // s_1^1
+  s.send(0, 1, "m5");
+  if (include_m3) s.send(0, 2, "m3");
+  s.deliver("m1");
+  s.send(1, 2, "m2");
+  s.checkpoint(1);  // s_2^1
+  s.send(1, 2, "m4");
+  s.deliver("m5");  // received after m4's send, same interval: Z-path [m5,m4]
+  s.deliver("m2");
+  s.checkpoint(2);  // s_3^1
+  if (include_m3) s.deliver("m3");
+  s.deliver("m4");
+  s.checkpoint(2);  // s_3^2
+  return scenario;
+}
+
+std::unique_ptr<Scenario> figure2(ckpt::ProtocolKind protocol, int messages,
+                                  const StepObserver& observer) {
+  RDTGC_EXPECTS(messages >= 2);
+  // Crossing ping-pong: each message is sent before the previous one is
+  // received at the peer, and every receipt is followed by a checkpoint, so
+  // under the uncoordinated protocol every non-initial checkpoint sits on a
+  // Z-cycle [m_{k+1}, m_k].
+  auto scenario = std::make_unique<Scenario>(2, protocol, GcChoice::kNone);
+  Script s{*scenario, observer};
+  s.send(1, 0, "m1");
+  for (int k = 1; k <= messages; ++k) {
+    const std::string label = "m" + std::to_string(k);
+    const ProcessId receiver = (k % 2 == 1) ? 0 : 1;
+    s.deliver(label);
+    if (k < messages) {
+      s.checkpoint(receiver);
+      s.send(receiver, 1 - receiver, "m" + std::to_string(k + 1));
+    }
+  }
+  return scenario;
+}
+
+std::unique_ptr<Scenario> figure3(const StepObserver& observer) {
+  // Reconstruction satisfying every stated Figure-3 fact (see DESIGN.md):
+  // paper p1..p4 = code 0..3; F = {p2,p3} = code {1,2}.
+  //   a: p1 -> p2 arriving in I_2^9  (pins s_2^8)
+  //   b: p1 -> p3 arriving in I_3^8  (pins s_3^7)
+  //   d: p2 -> p4 arriving in I_4^8  (pins s_4^7; makes s_4^{8..} gray)
+  //   c: p2 -> p3 arriving in I_3^10 (pins s_3^9; makes s_2^last -> s_3^last)
+  //   e: p3 -> p4 arriving in I_4^10 (pins s_4^9)
+  auto scenario = std::make_unique<Scenario>(
+      4, ckpt::ProtocolKind::kUncoordinated, GcChoice::kNone);
+  Script s{*scenario, observer};
+  auto take = [&](ProcessId p, int count) {
+    for (int k = 0; k < count; ++k) s.checkpoint(p);
+  };
+  take(0, 8);  // p1: s^1..s^8 (s^0 automatic)
+  take(1, 8);  // p2: up to s^8
+  s.send(0, 1, "a");  // from p1's volatile interval 9
+  s.deliver("a");     // p2 interval 9
+  take(1, 2);  // p2: s^9, s^10 = s_2^last
+  take(2, 7);  // p3: up to s^7
+  s.send(0, 2, "b");
+  s.deliver("b");  // p3 interval 8
+  s.send(1, 3, "d");  // from p2's volatile interval 11 (carries slast2)
+  take(3, 7);         // p4: up to s^7
+  s.deliver("d");     // p4 interval 8
+  take(3, 2);         // p4: s^8, s^9
+  s.send(1, 2, "c");
+  take(2, 2);      // p3: s^8, s^9
+  s.deliver("c");  // p3 interval 10
+  take(2, 1);      // p3: s^10 = s_3^last  (so slast2 -> slast3)
+  s.send(2, 3, "e");  // from p3's volatile interval 11
+  s.deliver("e");     // p4 interval 10
+  take(3, 1);         // p4: s^10 = s_4^last
+  return scenario;
+}
+
+std::unique_ptr<Scenario> figure4(const StepObserver& observer) {
+  // Outcome-exact reconstruction of the Figure 4 discussion (paper p1,p2,p3
+  // = code 0,1,2): by the end s_2^2, s_3^1, s_3^2 are collected and s_2^1 is
+  // the single obsolete-but-retained checkpoint.
+  auto scenario = std::make_unique<Scenario>(
+      3, ckpt::ProtocolKind::kUncoordinated, GcChoice::kRdtLgc);
+  Script s{*scenario, observer};
+  s.send(0, 1, "x");   // p1's knowledge pins the receivers' s^0
+  s.send(0, 2, "y");
+  s.deliver("x");      // p2 interval 1: UC[p1] <- s_2^0
+  s.deliver("y");      // p3 interval 1: UC[p1] <- s_3^0
+  s.checkpoint(1);     // s_2^1
+  s.checkpoint(2);     // s_3^1
+  s.send(2, 1, "z");   // p3 interval 2 knowledge
+  s.deliver("z");      // p2 interval 2: UC[p3] <- s_2^1
+  s.checkpoint(1);     // s_2^2
+  s.checkpoint(1);     // s_2^3: collects s_2^2
+  s.checkpoint(2);     // s_3^2: collects s_3^1
+  s.checkpoint(2);     // s_3^3: collects s_3^2
+  return scenario;
+}
+
+std::unique_ptr<Scenario> figure5(std::size_t n, const StepObserver& observer) {
+  RDTGC_EXPECTS(n >= 2);
+  // Staggered broadcasts: at round r every process checkpoints, then p_r
+  // broadcasts, pinning every receiver's current last checkpoint s^r through
+  // UC[p_r].  A final all-checkpoint round leaves each process retaining the
+  // n checkpoints {s^r : r != i} ∪ {s^n} — the paper's worst case.
+  auto scenario =
+      std::make_unique<Scenario>(n, ckpt::ProtocolKind::kFdas, GcChoice::kRdtLgc);
+  Script s{*scenario, observer};
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r > 0)  // round 0's checkpoint is the automatic s^0
+      for (std::size_t p = 0; p < n; ++p)
+        s.checkpoint(static_cast<ProcessId>(p));
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == r) continue;
+      const std::string label =
+          "b" + std::to_string(r) + "_" + std::to_string(q);
+      s.send(static_cast<ProcessId>(r), static_cast<ProcessId>(q), label);
+      s.deliver(label);
+    }
+  }
+  // Two final all-checkpoint rounds: the first leaves every process
+  // retaining n checkpoints; the second makes every process hold n+1
+  // transiently while the new checkpoint is stored (§4.5: n(n+1) globally).
+  for (std::size_t p = 0; p < n; ++p)
+    s.checkpoint(static_cast<ProcessId>(p));  // s^n
+  for (std::size_t p = 0; p < n; ++p)
+    s.checkpoint(static_cast<ProcessId>(p));  // s^{n+1}: transient n+1
+  return scenario;
+}
+
+}  // namespace rdtgc::harness::figures

@@ -1,0 +1,53 @@
+#include "harness/scenario.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::harness {
+
+namespace {
+
+SystemConfig scenario_config(std::size_t process_count,
+                             ckpt::ProtocolKind protocol, GcChoice gc) {
+  SystemConfig config;
+  config.process_count = process_count;
+  config.protocol = protocol;
+  config.gc = gc;
+  config.network.manual = true;
+  config.network.loss_probability = 0.0;
+  return config;
+}
+
+}  // namespace
+
+Scenario::Scenario(std::size_t process_count, ckpt::ProtocolKind protocol,
+                   GcChoice gc)
+    : system_(scenario_config(process_count, protocol, gc)) {}
+
+void Scenario::tick() {
+  // Advance time so every scripted action has a distinct timestamp.
+  system_.simulator().run_until(system_.simulator().now() + 1);
+}
+
+void Scenario::send(ProcessId p, ProcessId dst, const std::string& label) {
+  RDTGC_EXPECTS(labels_.count(label) == 0);
+  tick();
+  labels_[label] = system_.node(p).send_app_message(dst);
+}
+
+void Scenario::deliver(const std::string& label) {
+  tick();
+  system_.network().deliver_now(message_id(label));
+}
+
+void Scenario::checkpoint(ProcessId p) {
+  tick();
+  system_.node(p).take_basic_checkpoint();
+}
+
+sim::MessageId Scenario::message_id(const std::string& label) const {
+  auto it = labels_.find(label);
+  RDTGC_EXPECTS(it != labels_.end());
+  return it->second;
+}
+
+}  // namespace rdtgc::harness

@@ -1,0 +1,97 @@
+#include "harness/system.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rdtgc::harness {
+
+namespace {
+
+std::unique_ptr<ckpt::GarbageCollector> make_gc(GcChoice choice) {
+  switch (choice) {
+    case GcChoice::kNone:
+      return std::make_unique<ckpt::NoGc>();
+    case GcChoice::kRdtLgc:
+      return std::make_unique<core::RdtLgc>(core::RdtLgc::RollbackSearch::kBinary);
+    case GcChoice::kRdtLgcLinear:
+      return std::make_unique<core::RdtLgc>(core::RdtLgc::RollbackSearch::kLinear);
+  }
+  RDTGC_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace
+
+std::string gc_choice_name(GcChoice choice) {
+  switch (choice) {
+    case GcChoice::kNone:
+      return "none";
+    case GcChoice::kRdtLgc:
+      return "RDT-LGC";
+    case GcChoice::kRdtLgcLinear:
+      return "RDT-LGC(linear)";
+  }
+  RDTGC_ASSERT(false);
+  return {};
+}
+
+System::System(SystemConfig config)
+    : config_(config),
+      recorder_(config.process_count),
+      network_(simulator_, util::Rng(config.seed ^ 0x6e6574ULL),
+               config.network) {
+  RDTGC_EXPECTS(config.process_count >= 1);
+  nodes_.reserve(config.process_count);
+  for (std::size_t p = 0; p < config.process_count; ++p) {
+    nodes_.push_back(std::make_unique<ckpt::Node>(
+        static_cast<ProcessId>(p), config.process_count, simulator_, network_,
+        recorder_, ckpt::make_protocol(config.protocol), make_gc(config.gc),
+        config.node));
+  }
+}
+
+ckpt::Node& System::node(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(p)];
+}
+
+const ckpt::Node& System::node(ProcessId p) const {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < nodes_.size());
+  return *nodes_[static_cast<std::size_t>(p)];
+}
+
+std::vector<ckpt::Node*> System::node_ptrs() {
+  std::vector<ckpt::Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
+std::vector<const ckpt::Node*> System::node_ptrs() const {
+  std::vector<const ckpt::Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
+const core::RdtLgc& System::rdt_lgc(ProcessId p) const {
+  RDTGC_EXPECTS(config_.gc == GcChoice::kRdtLgc ||
+                config_.gc == GcChoice::kRdtLgcLinear);
+  const auto* lgc = dynamic_cast<const core::RdtLgc*>(&node(p).gc());
+  RDTGC_ASSERT(lgc != nullptr);
+  return *lgc;
+}
+
+std::size_t System::total_stored() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node->store().count();
+  return total;
+}
+
+std::uint64_t System::total_collected() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->store().stats().collected;
+  return total;
+}
+
+}  // namespace rdtgc::harness

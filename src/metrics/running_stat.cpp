@@ -1,0 +1,33 @@
+#include "metrics/running_stat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdtgc::metrics {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void TimeSeries::push(SimTime t, double v) {
+  samples_.emplace_back(t, v);
+  stat_.add(v);
+}
+
+}  // namespace rdtgc::metrics

@@ -1,0 +1,45 @@
+// Streaming statistics (Welford) and a sampled time series, used by the
+// benchmark harnesses to summarize storage occupancy over a run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/types.hpp"
+
+namespace rdtgc::metrics {
+
+/// Numerically stable streaming mean/variance/min/max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// (time, value) samples with summary statistics.
+class TimeSeries {
+ public:
+  void push(SimTime t, double v);
+  const std::vector<std::pair<SimTime, double>>& samples() const {
+    return samples_;
+  }
+  const RunningStat& stat() const { return stat_; }
+
+ private:
+  std::vector<std::pair<SimTime, double>> samples_;
+  RunningStat stat_;
+};
+
+}  // namespace rdtgc::metrics

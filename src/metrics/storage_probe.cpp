@@ -1,0 +1,37 @@
+#include "metrics/storage_probe.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdtgc::metrics {
+
+StorageProbe::StorageProbe(sim::Simulator& simulator,
+                           std::vector<const ckpt::Node*> nodes)
+    : simulator_(simulator),
+      nodes_(std::move(nodes)),
+      per_process_(nodes_.size()) {
+  RDTGC_EXPECTS(!nodes_.empty());
+}
+
+void StorageProbe::start(SimTime period, SimTime until) {
+  RDTGC_EXPECTS(period >= 1);
+  if (simulator_.now() + period > until) return;
+  simulator_.after(period, [this, period, until] {
+    sample();
+    start(period, until);
+  });
+}
+
+void StorageProbe::sample() {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    const std::size_t count = nodes_[p]->store().count();
+    per_process_[p].add(static_cast<double>(count));
+    peak_process_ = std::max(peak_process_, count);
+    total += count;
+  }
+  global_.push(simulator_.now(), static_cast<double>(total));
+}
+
+}  // namespace rdtgc::metrics

@@ -1,0 +1,40 @@
+// Periodic sampler of stable-storage occupancy across all processes —
+// produces the uncollected-checkpoint statistics the paper's conclusion
+// proposes measuring ("the theoretical bound ... is reached in executions
+// not likely to happen often in practice").
+#pragma once
+
+#include <vector>
+
+#include "ckpt/node.hpp"
+#include "metrics/running_stat.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdtgc::metrics {
+
+class StorageProbe {
+ public:
+  StorageProbe(sim::Simulator& simulator, std::vector<const ckpt::Node*> nodes);
+
+  /// Sample every `period` ticks until `until`.
+  void start(SimTime period, SimTime until);
+
+  /// Take one sample now.
+  void sample();
+
+  /// Global stored-checkpoint count over time.
+  const TimeSeries& global_series() const { return global_; }
+  /// Per-process running stats of stored-checkpoint counts.
+  const std::vector<RunningStat>& per_process() const { return per_process_; }
+  /// Highest per-process occupancy ever sampled.
+  std::size_t peak_process_count() const { return peak_process_; }
+
+ private:
+  sim::Simulator& simulator_;
+  std::vector<const ckpt::Node*> nodes_;
+  TimeSeries global_;
+  std::vector<RunningStat> per_process_;
+  std::size_t peak_process_ = 0;
+};
+
+}  // namespace rdtgc::metrics

@@ -1,0 +1,43 @@
+#include "recovery/failure_injector.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdtgc::recovery {
+
+FailureInjector::FailureInjector(sim::Simulator& simulator,
+                                 RecoveryManager& manager,
+                                 std::size_t process_count, Config config)
+    : simulator_(simulator),
+      manager_(manager),
+      process_count_(process_count),
+      config_(config),
+      rng_(config.seed) {
+  RDTGC_EXPECTS(process_count_ >= 1);
+  RDTGC_EXPECTS(config_.mean_interval >= 1);
+}
+
+void FailureInjector::start(SimTime until) { schedule_next(until); }
+
+void FailureInjector::schedule_next(SimTime until) {
+  const auto gap = static_cast<SimTime>(
+      std::max(1.0, rng_.exponential(static_cast<double>(config_.mean_interval))));
+  const SimTime when = simulator_.now() + gap;
+  if (when > until) return;
+  simulator_.at(when, [this, until] {
+    std::vector<ProcessId> faulty;
+    faulty.push_back(static_cast<ProcessId>(rng_.uniform(process_count_)));
+    if (process_count_ > 1 && rng_.bernoulli(config_.multi_failure_prob)) {
+      ProcessId second;
+      do {
+        second = static_cast<ProcessId>(rng_.uniform(process_count_));
+      } while (second == faulty.front());
+      faulty.push_back(second);
+    }
+    outcomes_.push_back(manager_.recover(faulty));
+    schedule_next(until);
+  });
+}
+
+}  // namespace rdtgc::recovery

@@ -1,0 +1,41 @@
+// Random failure injection: schedules crash events and drives recovery
+// sessions through the RecoveryManager.  Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "recovery/recovery_manager.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rdtgc::recovery {
+
+class FailureInjector {
+ public:
+  struct Config {
+    SimTime mean_interval = 1000;   ///< mean time between failures
+    double multi_failure_prob = 0.2;  ///< chance a session has >1 faulty process
+    std::uint64_t seed = 1;
+  };
+
+  FailureInjector(sim::Simulator& simulator, RecoveryManager& manager,
+                  std::size_t process_count, Config config);
+
+  /// Schedule failures until simulated time `until`.
+  void start(SimTime until);
+
+  const std::vector<RecoveryOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  void schedule_next(SimTime until);
+
+  sim::Simulator& simulator_;
+  RecoveryManager& manager_;
+  std::size_t process_count_;
+  Config config_;
+  util::Rng rng_;
+  std::vector<RecoveryOutcome> outcomes_;
+};
+
+}  // namespace rdtgc::recovery

@@ -1,0 +1,92 @@
+#include "recovery/recovery_manager.hpp"
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace rdtgc::recovery {
+
+RecoveryManager::RecoveryManager(sim::Simulator& simulator,
+                                 sim::Network& network,
+                                 ccp::CcpRecorder& recorder,
+                                 std::vector<ckpt::Node*> nodes, Config config)
+    : simulator_(simulator),
+      network_(network),
+      recorder_(recorder),
+      nodes_(std::move(nodes)),
+      config_(config) {
+  RDTGC_EXPECTS(!nodes_.empty());
+  RDTGC_EXPECTS(nodes_.size() == recorder_.process_count());
+}
+
+RecoveryOutcome RecoveryManager::recover(const std::vector<ProcessId>& faulty) {
+  RDTGC_EXPECTS(!faulty.empty());
+  const std::size_t n = nodes_.size();
+  std::vector<bool> faulty_mask(n, false);
+  for (const ProcessId f : faulty) {
+    RDTGC_EXPECTS(f >= 0 && static_cast<std::size_t>(f) < n);
+    faulty_mask[static_cast<std::size_t>(f)] = true;
+  }
+
+  ++stats_.sessions;
+  // Stop the world; in-transit messages are excluded from the CCP.
+  network_.pause();
+  network_.drop_in_flight();
+
+  RecoveryOutcome outcome;
+  if (config_.line_algorithm == LineAlgorithm::kLemma1) {
+    const ccp::DvPrecedence causal(recorder_);
+    outcome.line = ccp::recovery_line_lemma1(recorder_, causal, faulty_mask);
+  } else {
+    const ccp::ZigzagAnalysis zigzag(recorder_);
+    outcome.line = zigzag.recovery_line(faulty_mask);
+  }
+
+  // LI[j] = last_s(j) + 1 in the cut defined by R_F: a rolled-back process
+  // restores s^{line[j]} (making it the last stable checkpoint); a surviving
+  // process keeps its volatile state, so line[j] already equals last_s(j)+1.
+  std::vector<IntervalIndex> li(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const CheckpointIndex last = recorder_.last_stable(static_cast<ProcessId>(j));
+    li[j] = outcome.line[j] <= last ? outcome.line[j] + 1 : outcome.line[j];
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    ckpt::Node& node = *nodes_[p];
+    const CheckpointIndex last = recorder_.last_stable(static_cast<ProcessId>(p));
+    // Definition 5 metric: general checkpoints rolled back (the volatile
+    // state counts as c^{last+1}).
+    outcome.general_checkpoints_rolled_back +=
+        static_cast<std::uint64_t>((last + 1) - outcome.line[p]);
+    if (outcome.line[p] <= last) {
+      // The line must name a checkpoint that is actually recoverable; the
+      // GC safety results guarantee it was never collected.
+      RDTGC_ASSERT(node.store().contains(outcome.line[p]));
+      const std::uint64_t before = node.store().stats().discarded;
+      node.rollback_to(outcome.line[p],
+                       config_.global_information
+                           ? std::optional<std::vector<IntervalIndex>>(li)
+                           : std::nullopt);
+      outcome.checkpoints_discarded +=
+          node.store().stats().discarded - before;
+      outcome.rolled_back.push_back(static_cast<ProcessId>(p));
+    } else if (config_.global_information) {
+      node.peer_recovery(li);
+    }
+    // Faulty processes can never keep their volatile state (Lemma 1).
+    RDTGC_ASSERT(!faulty_mask[p] || outcome.line[p] <= last);
+  }
+
+  stats_.checkpoints_discarded += outcome.checkpoints_discarded;
+  stats_.general_checkpoints_rolled_back +=
+      outcome.general_checkpoints_rolled_back;
+
+  network_.resume();
+  RDTGC_INFO("recovery session at t=" << simulator_.now() << ": "
+             << outcome.rolled_back.size() << " processes rolled back");
+  return outcome;
+}
+
+}  // namespace rdtgc::recovery

@@ -1,0 +1,79 @@
+// Centralized rollback-recovery manager (§2.4 of the paper): on failure it
+// stops the execution of all processes, computes the recovery line R_F,
+// propagates it, and resumes.
+//
+// Two recovery-line algorithms are provided:
+//  * kLemma1 — the paper's Lemma 1 (causal precedence over dependency
+//    vectors); correct exactly when the CCP is RD-trackable.
+//  * kRGraph — generic rollback propagation on the R-graph (Wang et al.
+//    [21]); correct for any CCP, used for non-RDT runs (Figure 2's domino
+//    demonstration) and as a cross-check oracle for Lemma 1.
+//
+// Two information models for Algorithm 3 at the processes (§4.3):
+//  * global information — each process receives the LI vector
+//    (LI[j] = last_s(j)+1 in the cut defined by R_F);
+//  * causal only       — no LI; rolled-back processes run the DV variant,
+//    surviving processes just continue.
+//
+// In-transit messages are dropped when a session starts: the paper's CCP
+// excludes lost and in-transit messages, and channels are lossy anyway.
+// Stale in-flight timestamps referencing rolled-back intervals must never be
+// delivered into the new lineage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "ccp/recorder.hpp"
+#include "ckpt/node.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdtgc::recovery {
+
+enum class LineAlgorithm { kLemma1, kRGraph };
+
+struct RecoveryOutcome {
+  /// The recovery line (entry last_s(p)+1 = volatile state kept).
+  std::vector<CheckpointIndex> line;
+  /// Processes that had to restore a stable checkpoint.
+  std::vector<ProcessId> rolled_back;
+  /// Stable checkpoints discarded by the rollbacks (lost work).
+  std::uint64_t checkpoints_discarded = 0;
+  /// General checkpoints rolled back, the paper's Definition 5 metric:
+  /// Σ_p (last_general(p) - line[p]).
+  std::uint64_t general_checkpoints_rolled_back = 0;
+};
+
+class RecoveryManager {
+ public:
+  struct Config {
+    LineAlgorithm line_algorithm = LineAlgorithm::kLemma1;
+    bool global_information = true;  ///< propagate LI (vs causal-only)
+  };
+
+  RecoveryManager(sim::Simulator& simulator, sim::Network& network,
+                  ccp::CcpRecorder& recorder, std::vector<ckpt::Node*> nodes,
+                  Config config);
+
+  /// Run a recovery session for the given faulty set, now.
+  RecoveryOutcome recover(const std::vector<ProcessId>& faulty);
+
+  struct Stats {
+    std::uint64_t sessions = 0;
+    std::uint64_t checkpoints_discarded = 0;
+    std::uint64_t general_checkpoints_rolled_back = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  ccp::CcpRecorder& recorder_;
+  std::vector<ckpt::Node*> nodes_;
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace rdtgc::recovery

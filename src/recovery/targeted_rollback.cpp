@@ -1,0 +1,76 @@
+#include "recovery/targeted_rollback.hpp"
+
+#include "ccp/precedence.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc::recovery {
+
+TargetedRollback::TargetedRollback(sim::Simulator& simulator,
+                                   sim::Network& network,
+                                   ccp::CcpRecorder& recorder,
+                                   std::vector<ckpt::Node*> nodes)
+    : simulator_(simulator),
+      network_(network),
+      recorder_(recorder),
+      nodes_(std::move(nodes)) {
+  RDTGC_EXPECTS(!nodes_.empty());
+  RDTGC_EXPECTS(nodes_.size() == recorder_.process_count());
+}
+
+std::optional<TargetedRollbackOutcome> TargetedRollback::rollback_to(
+    const ccp::TargetSet& targets, TargetExtreme extreme) {
+  RDTGC_EXPECTS(!targets.empty());
+  const std::size_t n = nodes_.size();
+  for (const auto& [p, g] : targets) {
+    RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < n);
+    // The target must be recoverable, i.e. actually in stable storage.
+    RDTGC_EXPECTS(g >= 0 && g <= recorder_.last_stable(p));
+    RDTGC_EXPECTS(nodes_[static_cast<std::size_t>(p)]->store().contains(g));
+  }
+
+  const ccp::DvPrecedence causal(recorder_);
+  const auto line =
+      extreme == TargetExtreme::kMaximum
+          ? ccp::max_consistent_containing(recorder_, causal, targets)
+          : ccp::min_consistent_containing(recorder_, causal, targets);
+  if (!line) return std::nullopt;
+
+  // The computed line can include stable checkpoints already collected as
+  // obsolete (a *past* line is not a future recovery line).  Restarting
+  // there is impossible; treat it like inconsistency and refuse.
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto pid = static_cast<ProcessId>(p);
+    if ((*line)[p] <= recorder_.last_stable(pid) &&
+        !nodes_[p]->store().contains((*line)[p]))
+      return std::nullopt;
+  }
+
+  network_.pause();
+  network_.drop_in_flight();
+
+  TargetedRollbackOutcome outcome;
+  outcome.line = *line;
+  std::vector<IntervalIndex> li(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const CheckpointIndex last =
+        recorder_.last_stable(static_cast<ProcessId>(j));
+    li[j] = (*line)[j] <= last ? (*line)[j] + 1 : (*line)[j];
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    const CheckpointIndex last =
+        recorder_.last_stable(static_cast<ProcessId>(p));
+    if ((*line)[p] <= last) {
+      const std::uint64_t before = nodes_[p]->store().stats().discarded;
+      nodes_[p]->rollback_to((*line)[p], li);
+      outcome.checkpoints_discarded +=
+          nodes_[p]->store().stats().discarded - before;
+    } else {
+      nodes_[p]->peer_recovery(li);
+    }
+  }
+  network_.resume();
+  (void)simulator_;
+  return outcome;
+}
+
+}  // namespace rdtgc::recovery

@@ -1,0 +1,33 @@
+// Application message with the piggybacked control information used by the
+// RDT checkpointing protocols and by RDT-LGC (§4.2): a transitive dependency
+// vector.  Nothing else is piggybacked — the point of the paper is that the
+// garbage collector needs no additional control information.
+#pragma once
+
+#include <cstdint>
+
+#include "causality/dependency_vector.hpp"
+#include "causality/types.hpp"
+
+namespace rdtgc::sim {
+
+/// Unique message identifier (assigned by the network).
+using MessageId = std::uint64_t;
+
+struct Message {
+  MessageId id = 0;
+  ProcessId src = -1;
+  ProcessId dst = -1;
+  /// Sender's dependency vector at send time (the piggybacked timestamp).
+  causality::DependencyVector dv;
+  /// Sender's checkpoint interval at send time (= dv[src]); recorded for the
+  /// offline zigzag analysis.
+  IntervalIndex send_interval = 0;
+  /// Recorder serial of the send event (0 when no recorder is attached).
+  std::uint64_t send_serial = 0;
+  SimTime sent_at = 0;
+  /// Synthetic payload size for storage/bandwidth accounting.
+  std::uint64_t bytes = 0;
+};
+
+}  // namespace rdtgc::sim

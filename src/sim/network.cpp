@@ -1,0 +1,135 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rdtgc::sim {
+
+Network::Network(Simulator& simulator, util::Rng rng, Config config)
+    : simulator_(simulator), rng_(rng), config_(config) {
+  RDTGC_EXPECTS(config_.min_delay <= config_.max_delay);
+  RDTGC_EXPECTS(config_.min_delay >= 1);  // zero-delay would break causal order
+  RDTGC_EXPECTS(config_.loss_probability >= 0.0 &&
+                config_.loss_probability <= 1.0);
+}
+
+void Network::connect(ProcessId p, DeliveryFn sink) {
+  RDTGC_EXPECTS(p >= 0);
+  RDTGC_EXPECTS(sink != nullptr);
+  if (static_cast<std::size_t>(p) >= sinks_.size())
+    sinks_.resize(static_cast<std::size_t>(p) + 1);
+  RDTGC_EXPECTS(sinks_[static_cast<std::size_t>(p)] == nullptr);
+  sinks_[static_cast<std::size_t>(p)] = std::move(sink);
+}
+
+MessageId Network::send(Message m) {
+  RDTGC_EXPECTS(m.dst >= 0 &&
+                static_cast<std::size_t>(m.dst) < sinks_.size() &&
+                sinks_[static_cast<std::size_t>(m.dst)] != nullptr);
+  // Keep a caller-assigned id (the recorder hands them out so analyses can
+  // link messages); assign one only for bare messages.
+  if (m.id == 0) m.id = next_id_++;
+  m.sent_at = simulator_.now();
+  ++stats_.sent;
+  stats_.bytes_sent += m.bytes;
+
+  if (rng_.bernoulli(config_.loss_probability)) {
+    ++stats_.lost;
+    return m.id;
+  }
+  if (config_.manual) {
+    ++in_flight_;
+    mailbox_.push_back(std::move(m));
+    return mailbox_.back().id;
+  }
+  if (paused_) {
+    held_.push_back(std::move(m));
+    ++in_flight_;
+    return held_.back().id;
+  }
+  const SimTime span = config_.max_delay - config_.min_delay + 1;
+  SimTime when = simulator_.now() + config_.min_delay +
+                 static_cast<SimTime>(rng_.uniform(span));
+  if (config_.fifo) {
+    auto& last = last_delivery_[{m.src, m.dst}];
+    when = std::max(when, last);
+    last = when;
+  }
+  const MessageId id = m.id;
+  schedule_delivery(std::move(m), when);
+  return id;
+}
+
+void Network::schedule_delivery(Message m, SimTime when) {
+  ++in_flight_;
+  const std::uint64_t epoch = epoch_;
+  simulator_.at(when, [this, epoch, m = std::move(m)] {
+    if (epoch != epoch_) {
+      // drop_in_flight() already reset the counter for this epoch.
+      ++stats_.dropped_in_flight;
+      return;
+    }
+    RDTGC_ASSERT(in_flight_ > 0);
+    --in_flight_;
+    if (paused_) {
+      // Delivery surfaced while frozen: requeue for resume().
+      held_.push_back(m);
+      ++in_flight_;
+      return;
+    }
+    ++stats_.delivered;
+    sinks_[static_cast<std::size_t>(m.dst)](m);
+  });
+}
+
+void Network::drop_in_flight() {
+  ++epoch_;  // invalidates scheduled deliveries
+  stats_.dropped_in_flight += held_.size() + mailbox_.size();
+  held_.clear();
+  mailbox_.clear();
+  in_flight_ = 0;
+}
+
+void Network::deliver_now(MessageId id) {
+  RDTGC_EXPECTS(config_.manual);
+  auto it = std::find_if(mailbox_.begin(), mailbox_.end(),
+                         [id](const Message& m) { return m.id == id; });
+  RDTGC_EXPECTS(it != mailbox_.end());
+  const Message m = *it;
+  mailbox_.erase(it);
+  RDTGC_ASSERT(in_flight_ > 0);
+  --in_flight_;
+  ++stats_.delivered;
+  sinks_[static_cast<std::size_t>(m.dst)](m);
+}
+
+std::vector<MessageId> Network::parked() const {
+  std::vector<MessageId> out;
+  out.reserve(mailbox_.size());
+  for (const Message& m : mailbox_) out.push_back(m.id);
+  return out;
+}
+
+void Network::pause() { paused_ = true; }
+
+void Network::resume() {
+  paused_ = false;
+  std::vector<Message> held = std::move(held_);
+  held_.clear();
+  in_flight_ -= held.size();
+  for (auto& m : held) {
+    const SimTime span = config_.max_delay - config_.min_delay + 1;
+    SimTime when = simulator_.now() + config_.min_delay +
+                   static_cast<SimTime>(rng_.uniform(span));
+    if (config_.fifo) {
+      auto& last = last_delivery_[{m.src, m.dst}];
+      when = std::max(when, last);
+      last = when;
+    }
+    schedule_delivery(std::move(m), when);
+  }
+}
+
+}  // namespace rdtgc::sim

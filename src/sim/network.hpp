@@ -1,0 +1,94 @@
+// Message transport for the simulated asynchronous system.
+//
+// Models the paper's channel assumptions (§2): messages may be delayed
+// arbitrarily, lost, and delivered out of order (FIFO can be enabled for
+// experiments that want it, but no algorithm here depends on it).  Supports
+// dropping all in-flight messages, which the recovery manager uses to model
+// the paper's rule that recovery lines exclude in-transit messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rdtgc::sim {
+
+/// Delivery sink for a destination process.
+using DeliveryFn = std::function<void(const Message&)>;
+
+class Network {
+ public:
+  struct Config {
+    SimTime min_delay = 1;   ///< inclusive lower bound on transit time
+    SimTime max_delay = 10;  ///< inclusive upper bound on transit time
+    double loss_probability = 0.0;
+    bool fifo = false;  ///< enforce per-channel FIFO delivery order
+    /// Manual mode: sends are parked in a mailbox and delivered only by
+    /// deliver_now() — used to script exact checkpoint-and-communication
+    /// patterns (the paper's figures).
+    bool manual = false;
+  };
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;             ///< dropped by the loss model
+    std::uint64_t dropped_in_flight = 0;  ///< dropped by drop_in_flight()
+    std::uint64_t bytes_sent = 0;
+  };
+
+  Network(Simulator& simulator, util::Rng rng, Config config);
+
+  /// Register the delivery callback for process `p`.  Must be called once per
+  /// destination before any send to it.
+  void connect(ProcessId p, DeliveryFn sink);
+
+  /// Send `m` (id and sent_at are assigned here).  Returns the message id.
+  MessageId send(Message m);
+
+  /// Drop every message currently in flight (used during recovery sessions).
+  void drop_in_flight();
+
+  /// Manual mode: deliver a parked message immediately (synchronously).
+  void deliver_now(MessageId id);
+
+  /// Manual mode: parked message ids, in send order.
+  std::vector<MessageId> parked() const;
+
+  /// Pause delivery: messages sent while paused are queued as in-flight but
+  /// no delivery fires until resume().  Used to freeze the system while the
+  /// recovery manager runs.
+  void pause();
+  void resume();
+
+  const Stats& stats() const { return stats_; }
+  std::uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  void schedule_delivery(Message m, SimTime when);
+
+  Simulator& simulator_;
+  util::Rng rng_;
+  Config config_;
+  std::vector<DeliveryFn> sinks_;
+  Stats stats_;
+  MessageId next_id_ = 1;
+  /// Epoch counter: bumping it invalidates all scheduled deliveries.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t in_flight_ = 0;
+  bool paused_ = false;
+  /// Messages sent while paused, delivered on resume().
+  std::vector<Message> held_;
+  /// Manual-mode mailbox, in send order.
+  std::vector<Message> mailbox_;
+  /// Per (src,dst) channel: last scheduled delivery time (FIFO mode).
+  std::map<std::pair<ProcessId, ProcessId>, SimTime> last_delivery_;
+};
+
+}  // namespace rdtgc::sim

@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rdtgc::sim {
+
+void Simulator::at(SimTime t, Action fn) {
+  RDTGC_EXPECTS(t >= now_);
+  RDTGC_EXPECTS(fn != nullptr);
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the action may schedule new events.
+  Entry e = queue_.top();
+  queue_.pop();
+  RDTGC_ASSERT(e.time >= now_);
+  now_ = e.time;
+  ++processed_;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  return count;
+}
+
+void Simulator::run_until(SimTime t) {
+  RDTGC_EXPECTS(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = t;
+}
+
+}  // namespace rdtgc::sim

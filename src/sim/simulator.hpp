@@ -1,0 +1,71 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate for the paper's system model (§2): an asynchronous
+// message-passing system with no bound on relative speeds.  The simulator is
+// single-threaded and fully deterministic: events fire in (time, insertion
+// sequence) order, so a (seed, configuration) pair reproduces an execution
+// bit-for-bit.  The checkpointing and garbage-collection algorithms never read
+// the clock — simulated time exists only to order events and drive workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "causality/types.hpp"
+
+namespace rdtgc::sim {
+
+/// Single-threaded discrete-event scheduler.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now()).
+  void at(SimTime t, Action fn);
+
+  /// Schedule `fn` `delay` ticks from now.
+  void after(SimTime delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Execute the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue empties or `max_events` have been processed.
+  /// Returns the number of events processed by this call.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Run events with time <= t (leaves later events pending); advances the
+  /// clock to exactly `t` even if the queue drains first.
+  void run_until(SimTime t);
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace rdtgc::sim

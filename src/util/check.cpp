@@ -1,0 +1,11 @@
+#include "util/check.hpp"
+
+namespace rdtgc::util {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  throw ContractViolation(std::string(kind) + " violated: `" + expr + "` at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace rdtgc::util

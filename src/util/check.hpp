@@ -1,0 +1,47 @@
+// Contract-checking helpers (precondition / postcondition / invariant).
+//
+// Following the Core Guidelines (I.5/I.7), interfaces state their contracts
+// explicitly.  Violations indicate programmer error and throw
+// util::ContractViolation so tests can assert on them; they are never used for
+// recoverable runtime conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rdtgc::util {
+
+/// Thrown when a stated precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+
+}  // namespace rdtgc::util
+
+/// Precondition check: callers must establish `cond` before the call.
+#define RDTGC_EXPECTS(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rdtgc::util::contract_failure("precondition", #cond, __FILE__,      \
+                                      __LINE__);                            \
+  } while (false)
+
+/// Postcondition check: the implementation guarantees `cond` on return.
+#define RDTGC_ENSURES(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::rdtgc::util::contract_failure("postcondition", #cond, __FILE__,    \
+                                      __LINE__);                           \
+  } while (false)
+
+/// Internal invariant check.
+#define RDTGC_ASSERT(cond)                                               \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::rdtgc::util::contract_failure("invariant", #cond, __FILE__,      \
+                                      __LINE__);                         \
+  } while (false)

@@ -1,0 +1,19 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace rdtgc::util {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, const std::string& line) {
+  if (static_cast<int>(g_level) >= static_cast<int>(level))
+    std::cerr << line << '\n';
+}
+
+}  // namespace rdtgc::util

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic behaviour in the library flows through util::Rng so that a
+// (seed, configuration) pair fully determines an execution.  The engine is
+// SplitMix64: tiny, fast, and with well-understood statistical quality — more
+// than adequate for workload generation (we are not doing cryptography).
+#pragma once
+
+#include <cstdint>
+
+namespace rdtgc::util {
+
+/// Seeded deterministic random number generator (SplitMix64 engine).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rdtgc::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rdtgc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RDTGC_EXPECTS(!header_.empty());
+}
+
+Table& Table::begin_row() {
+  RDTGC_EXPECTS(rows_.empty() || rows_.back().size() == header_.size());
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add_cell(std::string value) {
+  RDTGC_EXPECTS(!rows_.empty() && rows_.back().size() < header_.size());
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add_cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add_cell(os.str());
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  RDTGC_EXPECTS(rows_.empty() || rows_.back().size() == header_.size());
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  if (!title.empty()) os << title << '\n';
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << v << std::string(width[c] - v.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace rdtgc::util

@@ -1,0 +1,45 @@
+// Minimal ASCII table renderer used by benchmark binaries to print the
+// paper-style result tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rdtgc::util {
+
+/// An ASCII table with a header row and homogeneous string cells.
+/// Numeric convenience overloads format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent add_cell calls fill it left to right.
+  Table& begin_row();
+  Table& add_cell(std::string value);
+  /// Integral cell.
+  template <typename T>
+    requires std::is_integral_v<T>
+  Table& add_cell(T value) {
+    return add_cell(std::to_string(value));
+  }
+  /// Floating-point cell rendered with `precision` digits after the point.
+  Table& add_cell(double value, int precision = 2);
+
+  /// Number of data rows so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment; `title` prints above the table if nonempty.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render as CSV (header + rows), for machine-readable output.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdtgc::util

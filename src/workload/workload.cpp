@@ -1,0 +1,103 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdtgc::workload {
+
+std::string workload_kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return "uniform";
+    case WorkloadKind::kRing:
+      return "ring";
+    case WorkloadKind::kClientServer:
+      return "client-server";
+    case WorkloadKind::kBroadcast:
+      return "broadcast";
+    case WorkloadKind::kBursty:
+      return "bursty";
+  }
+  RDTGC_ASSERT(false);
+  return {};
+}
+
+WorkloadDriver::WorkloadDriver(sim::Simulator& simulator,
+                               std::vector<ckpt::Node*> nodes,
+                               WorkloadConfig config)
+    : simulator_(simulator),
+      nodes_(std::move(nodes)),
+      config_(config),
+      phase_pos_(nodes_.size(), 0),
+      rr_next_(nodes_.size(), 1) {
+  RDTGC_EXPECTS(nodes_.size() >= 2);
+  RDTGC_EXPECTS(config_.mean_gap >= 1);
+  RDTGC_EXPECTS(config_.checkpoint_probability >= 0.0 &&
+                config_.checkpoint_probability <= 1.0);
+  util::Rng root(config_.seed);
+  rng_.reserve(nodes_.size());
+  for (std::size_t p = 0; p < nodes_.size(); ++p) rng_.push_back(root.split());
+}
+
+void WorkloadDriver::start(SimTime until) {
+  for (std::size_t p = 0; p < nodes_.size(); ++p) schedule_activity(p, until);
+}
+
+void WorkloadDriver::schedule_activity(std::size_t p, SimTime until) {
+  double mean = static_cast<double>(config_.mean_gap);
+  if (config_.kind == WorkloadKind::kBursty) {
+    const std::uint64_t phase = phase_pos_[p] / config_.burst_length;
+    if (phase % 2 == 1) mean *= static_cast<double>(config_.idle_factor);
+  }
+  const auto gap =
+      static_cast<SimTime>(std::max(1.0, rng_[p].exponential(mean)));
+  const SimTime when = simulator_.now() + gap;
+  if (when > until) return;
+  simulator_.at(when, [this, p, until] {
+    perform_activity(p);
+    schedule_activity(p, until);
+  });
+}
+
+void WorkloadDriver::perform_activity(std::size_t p) {
+  ++activities_;
+  ++phase_pos_[p];
+  ckpt::Node& node = *nodes_[p];
+  if (rng_[p].bernoulli(config_.checkpoint_probability)) {
+    node.take_basic_checkpoint();
+    return;
+  }
+  if (config_.kind == WorkloadKind::kBroadcast &&
+      rng_[p].bernoulli(config_.broadcast_fraction)) {
+    for (std::size_t q = 0; q < nodes_.size(); ++q)
+      if (q != p) node.send_app_message(static_cast<ProcessId>(q));
+    return;
+  }
+  node.send_app_message(pick_destination(p));
+}
+
+ProcessId WorkloadDriver::pick_destination(std::size_t p) {
+  const std::size_t n = nodes_.size();
+  switch (config_.kind) {
+    case WorkloadKind::kRing:
+      return static_cast<ProcessId>((p + 1) % n);
+    case WorkloadKind::kClientServer: {
+      if (p != 0) return 0;
+      // Server answers clients round-robin.
+      ProcessId dst = rr_next_[0];
+      rr_next_[0] = static_cast<ProcessId>(1 + (dst % (n - 1)));
+      return dst;
+    }
+    case WorkloadKind::kUniform:
+    case WorkloadKind::kBroadcast:
+    case WorkloadKind::kBursty:
+    default: {
+      auto dst = static_cast<ProcessId>(rng_[p].uniform(n - 1));
+      if (dst >= static_cast<ProcessId>(p)) ++dst;
+      return dst;
+    }
+  }
+}
+
+}  // namespace rdtgc::workload

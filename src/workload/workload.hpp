@@ -1,0 +1,66 @@
+// Workload generators: the "practical environment" the paper's conclusion
+// asks for.  Each process performs activities at exponentially-distributed
+// gaps; an activity is either a basic checkpoint (with configurable
+// probability — the paper's autonomous checkpoints) or one or more message
+// sends whose destinations depend on the communication shape.
+//
+// Shapes:
+//  * kUniform      — random peer (homogeneous gossip);
+//  * kRing         — fixed successor (pipeline);
+//  * kClientServer — process 0 is a server: clients talk to it, it answers
+//                    round-robin;
+//  * kBroadcast    — occasionally send to everyone (fan-out heavy, spreads
+//                    causal knowledge fast);
+//  * kBursty       — uniform destinations but alternating active/idle
+//                    phases (stale knowledge persists through idleness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/node.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rdtgc::workload {
+
+enum class WorkloadKind { kUniform, kRing, kClientServer, kBroadcast, kBursty };
+
+std::string workload_kind_name(WorkloadKind kind);
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kUniform;
+  SimTime mean_gap = 10;             ///< mean time between activities
+  double checkpoint_probability = 0.2;  ///< activity is a basic checkpoint
+  double broadcast_fraction = 0.1;   ///< kBroadcast: chance of full fan-out
+  std::uint64_t burst_length = 20;   ///< kBursty: activities per phase
+  std::uint64_t idle_factor = 10;    ///< kBursty: idle gap multiplier
+  std::uint64_t seed = 42;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(sim::Simulator& simulator, std::vector<ckpt::Node*> nodes,
+                 WorkloadConfig config);
+
+  /// Schedule activities for every process until simulated time `until`.
+  void start(SimTime until);
+
+  std::uint64_t activities() const { return activities_; }
+
+ private:
+  void schedule_activity(std::size_t p, SimTime until);
+  void perform_activity(std::size_t p);
+  ProcessId pick_destination(std::size_t p);
+
+  sim::Simulator& simulator_;
+  std::vector<ckpt::Node*> nodes_;
+  WorkloadConfig config_;
+  std::vector<util::Rng> rng_;            // per process
+  std::vector<std::uint64_t> phase_pos_;  // kBursty bookkeeping
+  std::vector<ProcessId> rr_next_;        // kClientServer round robin
+  std::uint64_t activities_ = 0;
+};
+
+}  // namespace rdtgc::workload

@@ -1,0 +1,216 @@
+// CCP-analysis correctness against first principles:
+//  * Theorem 1's obsolete set == Definition 7 needlessness (membership in no
+//    recovery line over all 2^n faulty sets, Lemma 3);
+//  * Lemma 1's recovery line is consistent, maximal, and excludes faulty
+//    volatile states;
+//  * Wang-style min/max consistent global checkpoints == brute-force
+//    enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/figures.hpp"
+#include "helpers.hpp"
+
+namespace rdtgc {
+namespace {
+
+using Param = std::tuple<std::uint64_t, std::size_t>;
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return "s" + std::to_string(std::get<0>(info.param)) + "_n" +
+         std::to_string(std::get<1>(info.param));
+}
+
+std::unique_ptr<harness::System> small_rdt_run(std::uint64_t seed,
+                                               std::size_t n) {
+  test::RunSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  spec.duration = 600;
+  spec.gc = harness::GcChoice::kNone;  // keep the full history
+  return test::run_workload(spec);
+}
+
+class ObsoleteCharacterization : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ObsoleteCharacterization, Theorem1EqualsNeedlessness) {
+  const auto [seed, n] = GetParam();
+  auto system = small_rdt_run(seed, n);
+  const auto& recorder = system->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+
+  // Definition 7: needless iff member of no recovery line R_F, F ⊆ Π.
+  std::set<std::pair<ProcessId, CheckpointIndex>> in_some_line;
+  for (int mask = 1; mask < (1 << n); ++mask) {
+    std::vector<bool> faulty(n);
+    for (std::size_t p = 0; p < n; ++p) faulty[p] = mask & (1 << p);
+    const auto line = ccp::recovery_line_lemma1(recorder, causal, faulty);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto pid = static_cast<ProcessId>(p);
+      if (line[p] <= recorder.last_stable(pid))  // stable member
+        in_some_line.insert({pid, line[p]});
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto pid = static_cast<ProcessId>(p);
+    for (CheckpointIndex g = 0; g <= recorder.last_stable(pid); ++g) {
+      const bool needless = in_some_line.count({pid, g}) == 0;
+      EXPECT_EQ(obsolete[p][static_cast<std::size_t>(g)], needless)
+          << "s_" << p << "^" << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ObsoleteCharacterization,
+    ::testing::Combine(::testing::Values(std::uint64_t{2}, std::uint64_t{31},
+                                         std::uint64_t{64}),
+                       ::testing::Values(std::size_t{3}, std::size_t{4})),
+    param_name);
+
+class RecoveryLineProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RecoveryLineProperties, Lemma1LineIsConsistentMaximalAndExcludesFaultyVolatiles) {
+  const auto [seed, n] = GetParam();
+  auto system = small_rdt_run(seed, n);
+  const auto& recorder = system->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+
+  for (int mask = 1; mask < (1 << n); ++mask) {
+    std::vector<bool> faulty(n);
+    for (std::size_t p = 0; p < n; ++p) faulty[p] = mask & (1 << p);
+    const auto line = ccp::recovery_line_lemma1(recorder, causal, faulty);
+
+    ASSERT_TRUE(ccp::is_consistent_global_checkpoint(recorder, causal, line));
+    for (std::size_t p = 0; p < n; ++p) {
+      if (faulty[p]) {
+        EXPECT_LE(line[p], recorder.last_stable(static_cast<ProcessId>(p)))
+            << "faulty volatile state in the line";
+      }
+    }
+    // The general R-graph algorithm must agree on RDT patterns.
+    EXPECT_EQ(line, zigzag.recovery_line(faulty)) << "mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryLineProperties,
+    ::testing::Combine(::testing::Values(std::uint64_t{5}, std::uint64_t{21},
+                                         std::uint64_t{90}),
+                       ::testing::Values(std::size_t{3}, std::size_t{5})),
+    param_name);
+
+class MinMaxConsistent : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MinMaxConsistent, MatchBruteForceEnumeration) {
+  const auto [seed, n] = GetParam();
+  test::RunSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  spec.duration = 300;  // enumeration is exponential in history length
+  spec.gc = harness::GcChoice::kNone;
+  auto system = test::run_workload(spec);
+  const auto& recorder = system->recorder();
+  const ccp::CausalGraph causal(recorder);
+
+  std::vector<CheckpointIndex> caps(n);
+  for (std::size_t p = 0; p < n; ++p)
+    caps[p] = recorder.last_stable(static_cast<ProcessId>(p)) + 1;
+
+  // All singleton targets plus a few pairs.
+  std::vector<ccp::TargetSet> targets;
+  for (std::size_t p = 0; p < n; ++p)
+    for (CheckpointIndex g = 0; g <= caps[p]; ++g)
+      targets.push_back({{static_cast<ProcessId>(p), g}});
+  for (std::size_t p = 0; p + 1 < n; ++p)
+    targets.push_back({{static_cast<ProcessId>(p), 1},
+                       {static_cast<ProcessId>(p + 1), caps[p + 1] - 1}});
+
+  for (const auto& s : targets) {
+    const auto fast_max = ccp::max_consistent_containing(recorder, causal, s);
+    const auto brute_max =
+        ccp::brute_force_extreme_consistent(recorder, causal, s, caps, true);
+    EXPECT_EQ(fast_max, brute_max);
+    const auto fast_min = ccp::min_consistent_containing(recorder, causal, s);
+    const auto brute_min =
+        ccp::brute_force_extreme_consistent(recorder, causal, s, caps, false);
+    EXPECT_EQ(fast_min, brute_min);
+    if (fast_max && fast_min) {
+      for (std::size_t p = 0; p < n; ++p)
+        EXPECT_LE((*fast_min)[p], (*fast_max)[p]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinMaxConsistent,
+    ::testing::Combine(::testing::Values(std::uint64_t{8}, std::uint64_t{44}),
+                       ::testing::Values(std::size_t{2}, std::size_t{3})),
+    param_name);
+
+TEST(MinMaxConsistent, InconsistentTargetYieldsNullopt) {
+  // Figure 1: s_1^0 -> s_2^1 via m1 (paper: {s01, s12} inconsistent-ish
+  // pairs exist); craft a target set containing a causally-related pair.
+  auto scenario = harness::figures::figure1(true);
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  // c_0^0 -> c_1^1 (m1 sent after s_1^0, received before s_2^1).
+  ASSERT_TRUE(causal.precedes(0, 0, 1, 1));
+  const ccp::TargetSet s{{0, 0}, {1, 1}};
+  EXPECT_EQ(ccp::max_consistent_containing(recorder, causal, s), std::nullopt);
+  EXPECT_EQ(ccp::min_consistent_containing(recorder, causal, s), std::nullopt);
+}
+
+TEST(MinMaxConsistent, WholeLineTargetReturnsItself) {
+  auto scenario = harness::figures::figure3();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const std::vector<bool> faulty = {false, true, true, false};
+  const auto line = ccp::recovery_line_lemma1(recorder, causal, faulty);
+  ccp::TargetSet s;
+  for (ProcessId p = 0; p < 4; ++p) s[p] = line[static_cast<std::size_t>(p)];
+  const auto max_line = ccp::max_consistent_containing(recorder, causal, s);
+  ASSERT_TRUE(max_line.has_value());
+  EXPECT_EQ(*max_line, line);
+}
+
+TEST(Theorem2, WeakerThanTheorem1) {
+  // Corollary-1 retention is a safe over-approximation: it must cover every
+  // non-obsolete checkpoint (Theorem 2 implies Theorem 1's condition).
+  auto system = small_rdt_run(123, 4);
+  const auto& recorder = system->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto retained = ccp::retained_corollary1(recorder, p);
+    const std::set<CheckpointIndex> retained_set(retained.begin(),
+                                                 retained.end());
+    for (CheckpointIndex g = 0; g <= recorder.last_stable(p); ++g) {
+      if (!obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)]) {
+        EXPECT_TRUE(retained_set.count(g))
+            << "non-obsolete s_" << p << "^" << g
+            << " missing from the Corollary-1 retained set";
+      }
+    }
+  }
+}
+
+TEST(Theorem2, LastCheckpointAlwaysRetained) {
+  auto system = small_rdt_run(7, 3);
+  const auto& recorder = system->recorder();
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto retained = ccp::retained_corollary1(recorder, p);
+    ASSERT_FALSE(retained.empty());
+    EXPECT_EQ(retained.back(), recorder.last_stable(p));
+  }
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -1,0 +1,114 @@
+// Unit tests for causality::DependencyVector (§4.2, Equations 2 and 3).
+#include <gtest/gtest.h>
+
+#include "causality/dependency_vector.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc::causality {
+namespace {
+
+TEST(DependencyVector, StartsAtZero) {
+  const DependencyVector dv(4);
+  ASSERT_EQ(dv.size(), 4u);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(dv[p], 0);
+}
+
+TEST(DependencyVector, AtMutates) {
+  DependencyVector dv(3);
+  dv.at(1) = 5;
+  EXPECT_EQ(dv[1], 5);
+  EXPECT_EQ(dv[0], 0);
+}
+
+TEST(DependencyVector, BoundsChecked) {
+  DependencyVector dv(2);
+  EXPECT_THROW(dv[2], util::ContractViolation);
+  EXPECT_THROW(dv[-1], util::ContractViolation);
+  EXPECT_THROW(dv.at(2), util::ContractViolation);
+}
+
+TEST(DependencyVector, HasNewDependencyFrom) {
+  DependencyVector mine(3), msg(3);
+  EXPECT_FALSE(mine.has_new_dependency_from(msg));
+  msg.at(2) = 1;
+  EXPECT_TRUE(mine.has_new_dependency_from(msg));
+  mine.at(2) = 1;
+  EXPECT_FALSE(mine.has_new_dependency_from(msg));
+  mine.at(2) = 2;  // I know more than the message
+  EXPECT_FALSE(mine.has_new_dependency_from(msg));
+}
+
+TEST(DependencyVector, NewDependenciesLists) {
+  DependencyVector mine(4), msg(4);
+  msg.at(1) = 3;
+  msg.at(3) = 1;
+  const auto deps = mine.new_dependencies_from(msg);
+  ASSERT_EQ(deps, (std::vector<ProcessId>{1, 3}));
+}
+
+TEST(DependencyVector, MergeTakesComponentwiseMax) {
+  DependencyVector mine(3), msg(3);
+  mine.at(0) = 2;
+  msg.at(0) = 1;  // stale: must not regress
+  msg.at(1) = 4;
+  const auto changed = mine.merge(msg);
+  EXPECT_EQ(changed, (std::vector<ProcessId>{1}));
+  EXPECT_EQ(mine[0], 2);
+  EXPECT_EQ(mine[1], 4);
+  EXPECT_EQ(mine[2], 0);
+}
+
+TEST(DependencyVector, MergeIsIdempotent) {
+  DependencyVector mine(3), msg(3);
+  msg.at(2) = 7;
+  mine.merge(msg);
+  const auto changed = mine.merge(msg);
+  EXPECT_TRUE(changed.empty());
+}
+
+TEST(DependencyVector, MergeRequiresSameSize) {
+  DependencyVector a(2), b(3);
+  EXPECT_THROW(a.merge(b), util::ContractViolation);
+  EXPECT_THROW(a.has_new_dependency_from(b), util::ContractViolation);
+}
+
+TEST(DependencyVector, Equation2PrecedesThis) {
+  // Equation 2: c_a^alpha -> c_b^beta iff alpha < DV(c_b^beta)[a].
+  DependencyVector dv_of_checkpoint(3);
+  dv_of_checkpoint.at(0) = 2;  // knows intervals up to 2 => checkpoints 0,1
+  EXPECT_TRUE(dv_of_checkpoint.precedes_this(0, 0));
+  EXPECT_TRUE(dv_of_checkpoint.precedes_this(0, 1));
+  EXPECT_FALSE(dv_of_checkpoint.precedes_this(0, 2));
+}
+
+TEST(DependencyVector, Equation3LastKnownCheckpoint) {
+  DependencyVector dv(3);
+  EXPECT_EQ(dv.last_known_checkpoint(1), kNoCheckpoint);  // -1: none known
+  dv.at(1) = 3;
+  EXPECT_EQ(dv.last_known_checkpoint(1), 2);
+}
+
+TEST(DependencyVector, ToStringMatchesPaperStyle) {
+  DependencyVector dv(3);
+  dv.at(0) = 1;
+  dv.at(2) = 4;
+  EXPECT_EQ(dv.to_string(), "(1, 0, 4)");
+}
+
+TEST(DependencyVector, EqualityComparable) {
+  DependencyVector a(2), b(2);
+  EXPECT_EQ(a, b);
+  b.at(1) = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(DependencyVector, SingleProcessEdgeCase) {
+  DependencyVector dv(1);
+  dv.at(0) = 10;
+  EXPECT_EQ(dv[0], 10);
+  EXPECT_EQ(dv.last_known_checkpoint(0), 9);
+  EXPECT_TRUE(dv.new_dependencies_from(dv).empty());
+}
+
+}  // namespace
+}  // namespace rdtgc::causality

@@ -1,0 +1,248 @@
+// Tests for the extension features: targeted rollback (software-error
+// recovery / causal breakpoints, §1 of the paper), DOT exporters, and the
+// time-based GC strawman's safety failure.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccp/dot_export.hpp"
+#include "gc/timed_gc.hpp"
+#include "harness/figures.hpp"
+#include "harness/system.hpp"
+#include "helpers.hpp"
+#include "recovery/targeted_rollback.hpp"
+#include "util/check.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+struct Rig {
+  std::unique_ptr<harness::System> system;
+  std::unique_ptr<workload::WorkloadDriver> driver;
+};
+
+Rig make_rig(std::uint64_t seed, std::size_t n, harness::GcChoice gc) {
+  Rig rig;
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.gc = gc;
+  config.seed = seed;
+  rig.system = std::make_unique<harness::System>(config);
+  workload::WorkloadConfig wl;
+  wl.seed = seed;
+  rig.driver = std::make_unique<workload::WorkloadDriver>(
+      rig.system->simulator(), rig.system->node_ptrs(), wl);
+  return rig;
+}
+
+TEST(TargetedRollback, RestoresMaxLineContainingTarget) {
+  Rig rig = make_rig(21, 4, harness::GcChoice::kNone);
+  rig.driver->start(2000);
+  rig.system->simulator().run();
+
+  // Target: roll p2 back to the middle of its history.
+  const CheckpointIndex target = rig.system->recorder().last_stable(2) / 2;
+  recovery::TargetedRollback roller(
+      rig.system->simulator(), rig.system->network(), rig.system->recorder(),
+      rig.system->node_ptrs());
+  const auto outcome = roller.rollback_to({{2, target}},
+                                          recovery::TargetExtreme::kMaximum);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->line[2], target);
+  // Every process now sits exactly at its line member.
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_EQ(rig.system->recorder().last_stable(p) + 1,
+              rig.system->node(p).dv()[p]);
+  EXPECT_TRUE(rig.system->recorder().audit_no_orphans());
+  test::audit_rdt(rig.system->recorder());
+  test::audit_eq2(rig.system->recorder());
+}
+
+TEST(TargetedRollback, MinimumRollsFurtherThanMaximum) {
+  auto depth_with = [](recovery::TargetExtreme extreme) {
+    Rig rig = make_rig(22, 3, harness::GcChoice::kNone);
+    rig.driver->start(1500);
+    rig.system->simulator().run();
+    const CheckpointIndex target = rig.system->recorder().last_stable(1) / 2;
+    recovery::TargetedRollback roller(
+        rig.system->simulator(), rig.system->network(),
+        rig.system->recorder(), rig.system->node_ptrs());
+    const auto outcome = roller.rollback_to({{1, target}}, extreme);
+    EXPECT_TRUE(outcome.has_value());
+    CheckpointIndex sum = 0;
+    for (const CheckpointIndex g : outcome->line) sum += g;
+    return sum;
+  };
+  EXPECT_LE(depth_with(recovery::TargetExtreme::kMinimum),
+            depth_with(recovery::TargetExtreme::kMaximum));
+}
+
+TEST(TargetedRollback, InconsistentTargetRefusedWithoutSideEffects) {
+  auto scenario = harness::figures::figure1(true);
+  auto& system = scenario->system();
+  recovery::TargetedRollback roller(system.simulator(), system.network(),
+                                    system.recorder(), system.node_ptrs());
+  // c_0^0 -> c_1^1: no consistent global checkpoint contains both.
+  const auto before0 = system.node(0).store().stored_indices();
+  const auto outcome =
+      roller.rollback_to({{0, 0}, {1, 1}}, recovery::TargetExtreme::kMaximum);
+  EXPECT_EQ(outcome, std::nullopt);
+  EXPECT_EQ(system.node(0).store().stored_indices(), before0);
+}
+
+TEST(TargetedRollback, CollectedTargetRejectedByContract) {
+  Rig rig = make_rig(23, 3, harness::GcChoice::kRdtLgc);
+  rig.driver->start(1500);
+  rig.system->simulator().run();
+  recovery::TargetedRollback roller(
+      rig.system->simulator(), rig.system->network(), rig.system->recorder(),
+      rig.system->node_ptrs());
+  // Find a collected (obsolete) checkpoint index to target.
+  std::optional<CheckpointIndex> missing;
+  for (CheckpointIndex g = 0; g <= rig.system->recorder().last_stable(0); ++g)
+    if (!rig.system->node(0).store().contains(g)) {
+      missing = g;
+      break;
+    }
+  ASSERT_TRUE(missing.has_value()) << "run too short for any collection";
+  EXPECT_THROW(roller.rollback_to({{0, *missing}},
+                                  recovery::TargetExtreme::kMaximum),
+               util::ContractViolation);
+}
+
+TEST(TargetedRollback, ExecutionContinuesAfterTargetedRollback) {
+  Rig rig = make_rig(24, 4, harness::GcChoice::kRdtLgc);
+  rig.driver->start(4000);
+  rig.system->simulator().run_until(2000);
+  recovery::TargetedRollback roller(
+      rig.system->simulator(), rig.system->network(), rig.system->recorder(),
+      rig.system->node_ptrs());
+  // Target the latest stored (uncollected) checkpoint below the last one.
+  const auto stored = rig.system->node(1).store().stored_indices();
+  ASSERT_GE(stored.size(), 2u);
+  const CheckpointIndex target = stored[stored.size() - 2];
+  const auto outcome = roller.rollback_to({{1, target}},
+                                          recovery::TargetExtreme::kMaximum);
+  ASSERT_TRUE(outcome.has_value());
+  rig.system->simulator().run();
+  test::audit_rdt(rig.system->recorder());
+  test::audit_safety_theorem1(*rig.system);
+  test::audit_bounds(*rig.system);
+}
+
+TEST(DotExport, CcpContainsProcessesCheckpointsAndMessages) {
+  auto scenario = harness::figures::figure1(true);
+  std::ostringstream os;
+  ccp::export_ccp_dot(scenario->recorder(), os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph ccp"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_p2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"s0\""), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);  // message edges
+  EXPECT_EQ(dot.find("label=\"s9\""), std::string::npos);
+}
+
+TEST(DotExport, RGraphHasIntervalNodesAndVolatileMark) {
+  auto scenario = harness::figures::figure1(true);
+  std::ostringstream os;
+  ccp::export_rgraph_dot(scenario->recorder(), os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph rgraph"), std::string::npos);
+  EXPECT_NE(dot.find("(v)"), std::string::npos);
+  EXPECT_NE(dot.find("i_0_0 -> i_0_1"), std::string::npos);
+}
+
+TEST(DotExport, ForcedCheckpointsAreMarked) {
+  auto scenario = harness::figures::figure2(ckpt::ProtocolKind::kFdas);
+  std::ostringstream os;
+  ccp::export_ccp_dot(scenario->recorder(), os);
+  EXPECT_NE(os.str().find("!"), std::string::npos);
+}
+
+TEST(TimedGc, CollectsOldCheckpointsUnderFriendlyConditions) {
+  Rig rig = make_rig(31, 4, harness::GcChoice::kNone);
+  rig.driver->start(6000);
+  gc::TimedGcDriver::Config tc;
+  tc.period = 200;
+  tc.retention = 500;
+  gc::TimedGcDriver timed(rig.system->simulator(), rig.system->node_ptrs(),
+                          tc);
+  timed.start(6000);
+  rig.system->simulator().run();
+  EXPECT_GT(timed.collected(), 0u);
+}
+
+TEST(TimedGc, ViolatesSafetyWhenAProcessGoesQuiet) {
+  // The demonstration behind the paper's asynchrony requirement: p0 takes a
+  // checkpoint, pins p1's current checkpoint via a message, then goes
+  // quiet.  The pinned checkpoint ages past any retention horizon while
+  // still being required by R_{p0}; the timed collector destroys it.
+  harness::SystemConfig config;
+  config.process_count = 2;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = harness::GcChoice::kNone;
+  config.network.manual = true;
+  harness::System system(config);
+  auto& simulator = system.simulator();
+  auto step = [&](SimTime dt) { simulator.run_until(simulator.now() + dt); };
+
+  step(1);
+  system.node(0).take_basic_checkpoint();  // s_0^1 = slast_0
+  step(1);
+  const auto pin = system.node(0).send_app_message(1);
+  step(1);
+  system.network().deliver_now(pin);  // s_1^0 becomes p1's pinned checkpoint
+  // p0 goes quiet; p1 keeps checkpointing for a long time.
+  for (int k = 0; k < 20; ++k) {
+    step(200);
+    system.node(1).take_basic_checkpoint();
+  }
+
+  // Ground truth: s_1^0 is NOT obsolete (slast_0 -> c_1^1, not -> s_1^0).
+  const ccp::CausalGraph causal(system.recorder());
+  const auto obsolete = ccp::obsolete_theorem1(system.recorder(), causal);
+  ASSERT_FALSE(obsolete[1][0]);
+
+  gc::TimedGcDriver timed(simulator, system.node_ptrs(), {});
+  timed.round();  // retention 1000 < age of s_1^0 (~4000 ticks)
+  EXPECT_FALSE(system.node(1).store().contains(0))
+      << "the strawman should have (unsafely) collected s_1^0";
+  // The safety oracle flags it: a non-obsolete checkpoint is gone, and the
+  // recovery line for a failure of p0 is now unrestorable.
+  const auto line = ccp::recovery_line_lemma1(system.recorder(), causal,
+                                              {true, false});
+  EXPECT_EQ(line[1], 0);
+  EXPECT_FALSE(system.node(1).store().contains(line[1]));
+}
+
+TEST(TimedGc, RdtLgcKeepsTheSameCheckpointForever) {
+  // Same quiet-process history under RDT-LGC: the pin persists because no
+  // causal evidence ever licenses collecting s_1^0.
+  harness::SystemConfig config;
+  config.process_count = 2;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.network.manual = true;
+  harness::System system(config);
+  auto& simulator = system.simulator();
+  auto step = [&](SimTime dt) { simulator.run_until(simulator.now() + dt); };
+
+  step(1);
+  system.node(0).take_basic_checkpoint();
+  step(1);
+  const auto pin = system.node(0).send_app_message(1);
+  step(1);
+  system.network().deliver_now(pin);
+  for (int k = 0; k < 20; ++k) {
+    step(200);
+    system.node(1).take_basic_checkpoint();
+  }
+  EXPECT_TRUE(system.node(1).store().contains(0));
+  test::audit_safety_theorem1(system);
+  test::audit_exact_corollary1(system);
+}
+
+}  // namespace
+}  // namespace rdtgc

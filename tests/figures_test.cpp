@@ -1,0 +1,228 @@
+// Mechanical verification of the paper's Figures 3, 4 and 5 (Figures 1-2
+// are covered in zigzag_test.cpp).  Every fact the paper states about these
+// figures is asserted here; the bench binaries print the same scenarios as
+// tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/figures.hpp"
+#include "helpers.hpp"
+
+namespace rdtgc {
+namespace {
+
+using harness::figures::figure3;
+using harness::figures::figure4;
+using harness::figures::figure5;
+
+// ---------------------------------------------------------------- Figure 3
+
+TEST(Figure3, PatternIsRdtAndEquation2Holds) {
+  auto scenario = figure3();
+  test::audit_rdt(scenario->recorder());
+  test::audit_eq2(scenario->recorder());
+}
+
+TEST(Figure3, CheckpointCountsMatchPaperWindow) {
+  auto scenario = figure3();
+  const auto& recorder = scenario->recorder();
+  EXPECT_EQ(recorder.last_stable(0), 8);   // paper p1: ... s^8, v = c^9
+  EXPECT_EQ(recorder.last_stable(1), 10);  // paper p2: s_2^last = s^10
+  EXPECT_EQ(recorder.last_stable(2), 10);
+  EXPECT_EQ(recorder.last_stable(3), 10);
+}
+
+TEST(Figure3, ObsoleteSetMatchesPaperWindow) {
+  auto scenario = figure3();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+
+  // Paper: exactly {c_2^7, c_2^9, c_3^8, c_4^6, c_4^8} within the drawn
+  // window (p1 from c^8, p2/p3 from c^7, p4 from c^6).
+  const std::set<std::pair<ProcessId, CheckpointIndex>> expected = {
+      {1, 7}, {1, 9}, {2, 8}, {3, 6}, {3, 8}};
+  const std::vector<CheckpointIndex> window_start = {8, 7, 7, 6};
+  std::set<std::pair<ProcessId, CheckpointIndex>> actual;
+  for (ProcessId p = 0; p < 4; ++p)
+    for (CheckpointIndex g = window_start[static_cast<std::size_t>(p)];
+         g <= recorder.last_stable(p); ++g)
+      if (obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)])
+        actual.insert({p, g});
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Figure3, SLast2CausallyPrecedesSLast3) {
+  auto scenario = figure3();
+  const ccp::CausalGraph causal(scenario->recorder());
+  // Paper: "slast3 is not part of the recovery line because it is causally
+  // preceded by slast2".
+  EXPECT_TRUE(causal.precedes(1, 10, 2, 10));
+}
+
+TEST(Figure3, RecoveryLineForF23MatchesPaper) {
+  auto scenario = figure3();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const std::vector<bool> faulty = {false, true, true, false};
+  const auto line = ccp::recovery_line_lemma1(recorder, causal, faulty);
+  // p1 keeps its volatile state (c^9); p2 restores s_2^last = s^10; p3 rolls
+  // back to s^9 (slast3 is excluded); p4 rolls back to s^7.
+  EXPECT_EQ(line, (std::vector<CheckpointIndex>{9, 10, 9, 7}));
+  EXPECT_TRUE(ccp::is_consistent_global_checkpoint(recorder, causal, line));
+}
+
+TEST(Figure3, Lemma1AgreesWithRGraphLine) {
+  auto scenario = figure3();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  for (int mask = 1; mask < 16; ++mask) {
+    std::vector<bool> faulty(4);
+    for (int p = 0; p < 4; ++p) faulty[static_cast<std::size_t>(p)] = mask & (1 << p);
+    EXPECT_EQ(ccp::recovery_line_lemma1(recorder, causal, faulty),
+              zigzag.recovery_line(faulty))
+        << "faulty mask " << mask;
+  }
+}
+
+TEST(Figure3, Lemma2SingletonReduction) {
+  // Every stable checkpoint in a recovery line for a set F is also in the
+  // line of some singleton {p_f}.
+  auto scenario = figure3();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  std::vector<std::vector<CheckpointIndex>> singleton_lines;
+  for (int f = 0; f < 4; ++f) {
+    std::vector<bool> faulty(4, false);
+    faulty[static_cast<std::size_t>(f)] = true;
+    singleton_lines.push_back(
+        ccp::recovery_line_lemma1(recorder, causal, faulty));
+  }
+  for (int mask = 1; mask < 16; ++mask) {
+    std::vector<bool> faulty(4);
+    for (int p = 0; p < 4; ++p) faulty[static_cast<std::size_t>(p)] = mask & (1 << p);
+    const auto line = ccp::recovery_line_lemma1(recorder, causal, faulty);
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (line[static_cast<std::size_t>(p)] > recorder.last_stable(p))
+        continue;  // volatile member: Lemma 2 concerns stable checkpoints
+      bool found = false;
+      for (int f = 0; f < 4 && !found; ++f)
+        found = singleton_lines[static_cast<std::size_t>(f)]
+                               [static_cast<std::size_t>(p)] ==
+                line[static_cast<std::size_t>(p)];
+      EXPECT_TRUE(found) << "mask " << mask << " process " << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+TEST(Figure4, CollectsExactlyTheThreePaperCheckpoints) {
+  auto scenario = figure4();
+  // Paper: s_2^2, s_3^1, s_3^2 eliminated (code: p1's c2; p2's c1 and c2).
+  EXPECT_EQ(scenario->node(0).store().stored_indices(),
+            (std::vector<CheckpointIndex>{0}));
+  EXPECT_EQ(scenario->node(1).store().stored_indices(),
+            (std::vector<CheckpointIndex>{0, 1, 3}));
+  EXPECT_EQ(scenario->node(2).store().stored_indices(),
+            (std::vector<CheckpointIndex>{0, 3}));
+  EXPECT_EQ(scenario->node(1).store().stats().collected, 1u);
+  EXPECT_EQ(scenario->node(2).store().stats().collected, 2u);
+}
+
+TEST(Figure4, TheOnlyObsoleteRetainedCheckpointIsS12) {
+  auto scenario = figure4();
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+  std::set<std::pair<ProcessId, CheckpointIndex>> obsolete_retained;
+  for (ProcessId p = 0; p < 3; ++p)
+    for (const CheckpointIndex g : scenario->node(p).store().stored_indices())
+      if (g <= recorder.last_stable(p) &&
+          obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)])
+        obsolete_retained.insert({p, g});
+  // Paper: "The only obsolete checkpoint not identified by RDT-LGC is s_2^1.
+  // It is retained by p2 because p2 does not know that p3 has taken other
+  // checkpoints after s_3^1."  (code: p1's c1)
+  EXPECT_EQ(obsolete_retained,
+            (std::set<std::pair<ProcessId, CheckpointIndex>>{{1, 1}}));
+}
+
+TEST(Figure4, RetentionIsViaStaleKnowledgeOfP3) {
+  auto scenario = figure4();
+  const auto& system = scenario->system();
+  // p2's UC entry for p3 (code: p1's UC[2]) pins s^1.
+  EXPECT_EQ(system.rdt_lgc(1).uc().entry(2),
+            std::optional<CheckpointIndex>(1));
+  // p2's knowledge of p3 is stale: it knows interval 2 while p3 is at 4.
+  EXPECT_EQ(scenario->node(1).dv()[2], 2);
+  EXPECT_EQ(scenario->node(2).dv()[2], 4);
+}
+
+TEST(Figure4, AuditsHold) {
+  auto scenario = figure4();
+  test::audit_rdt(scenario->recorder());
+  test::audit_eq2(scenario->recorder());
+  test::audit_exact_corollary1(scenario->system());
+  test::audit_safety_theorem1(scenario->system());
+  test::audit_eq4(scenario->system());
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+class Figure5Sweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Figure5Sweep, WorstCaseReachesTheBounds) {
+  const std::size_t n = GetParam();
+  auto scenario = figure5(n);
+  std::size_t global = 0, provisioned = 0;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    const auto& store = scenario->node(p).store();
+    EXPECT_EQ(store.count(), n) << "steady-state bound n at p" << p;
+    EXPECT_EQ(store.stats().peak_count, n + 1)
+        << "transient bound n+1 at p" << p;
+    global += store.count();
+    provisioned += store.stats().peak_count;
+  }
+  EXPECT_EQ(global, n * n);              // §4.5: n^2 remain stored
+  EXPECT_EQ(provisioned, n * (n + 1));   // §4.5: n(n+1) during the operation
+  // No forced checkpoints: FDAS stays silent on this pattern.
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p)
+    EXPECT_EQ(scenario->node(p).counters().forced_checkpoints, 0u);
+}
+
+TEST_P(Figure5Sweep, WorstCaseStillSatisfiesInvariants) {
+  const std::size_t n = GetParam();
+  auto scenario = figure5(n);
+  test::audit_rdt(scenario->recorder());
+  test::audit_exact_corollary1(scenario->system());
+  test::audit_safety_theorem1(scenario->system());
+  test::audit_eq4(scenario->system());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, Figure5Sweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{4}, std::size_t{6},
+                                           std::size_t{8}),
+                         ::testing::PrintToStringParamName());
+
+TEST(Figure5, EachProcessRetainsDistinctRounds) {
+  const std::size_t n = 4;
+  auto scenario = figure5(n);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    std::vector<CheckpointIndex> expected;
+    for (std::size_t r = 0; r < n; ++r)
+      if (static_cast<ProcessId>(r) != p)
+        expected.push_back(static_cast<CheckpointIndex>(r));
+    expected.push_back(static_cast<CheckpointIndex>(n + 1));  // final s^{n+1}
+    EXPECT_EQ(scenario->node(p).store().stored_indices(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -1,0 +1,164 @@
+// Shared test utilities: system assembly and the paper's invariants as
+// reusable audits.
+//
+// The audits map one-to-one onto the paper's claims:
+//  * audit_eq2                 — Equation 2: DV-derived precedence equals
+//                                ground-truth event-graph causality;
+//  * audit_rdt                 — Definition 4 via the zigzag oracle;
+//  * audit_safety_theorem1     — everything Theorem 1 calls non-obsolete is
+//                                still stored (so nothing unsafe was ever
+//                                collected: obsoleteness is monotone);
+//  * audit_exact_corollary1    — the stored set equals the Corollary-1
+//                                retained set exactly (safety + Theorem-5
+//                                optimality of RDT-LGC);
+//  * audit_eq4                 — the Theorem-3 invariant on UC entries;
+//  * audit_bounds              — ≤ n stored per process, ≤ n+1 transient.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/system.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc::test {
+
+/// gtest parameter names must be alphanumeric.
+inline std::string sanitize(std::string s) {
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+inline void audit_eq2(const ccp::CcpRecorder& recorder) {
+  const ccp::DvPrecedence dv(recorder);
+  const ccp::CausalGraph truth(recorder);
+  const auto n = static_cast<ProcessId>(recorder.process_count());
+  for (ProcessId a = 0; a < n; ++a) {
+    const CheckpointIndex la = recorder.last_stable(a);
+    for (CheckpointIndex alpha = 0; alpha <= la + 1; ++alpha) {
+      for (ProcessId b = 0; b < n; ++b) {
+        const CheckpointIndex lb = recorder.last_stable(b);
+        for (CheckpointIndex beta = 0; beta <= lb + 1; ++beta) {
+          ASSERT_EQ(dv.precedes(a, alpha, b, beta),
+                    truth.precedes(a, alpha, b, beta))
+              << "Eq.2 mismatch: c_" << a << "^" << alpha << " vs c_" << b
+              << "^" << beta;
+        }
+      }
+    }
+  }
+}
+
+inline void audit_rdt(const ccp::CcpRecorder& recorder) {
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  const auto violation = ccp::check_rdt(recorder, causal, zigzag);
+  ASSERT_FALSE(violation.has_value()) << violation->to_string();
+}
+
+inline void audit_safety_theorem1(const harness::System& system) {
+  const auto& recorder = system.recorder();
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+  for (ProcessId p = 0; p < static_cast<ProcessId>(system.process_count());
+       ++p) {
+    const auto& flags = obsolete[static_cast<std::size_t>(p)];
+    for (CheckpointIndex g = 0; g < static_cast<CheckpointIndex>(flags.size());
+         ++g) {
+      if (!flags[static_cast<std::size_t>(g)]) {
+        ASSERT_TRUE(system.node(p).store().contains(g))
+            << "non-obsolete s_" << p << "^" << g
+            << " is missing: an unsafe collection happened";
+      }
+    }
+  }
+}
+
+inline void audit_exact_corollary1(const harness::System& system) {
+  const auto& recorder = system.recorder();
+  for (ProcessId p = 0; p < static_cast<ProcessId>(system.process_count());
+       ++p) {
+    const std::vector<CheckpointIndex> expected =
+        ccp::retained_corollary1(recorder, p);
+    const std::vector<CheckpointIndex> stored =
+        system.node(p).store().stored_indices();
+    ASSERT_EQ(stored, expected)
+        << "RDT-LGC retained set of p" << p
+        << " differs from the Corollary-1 set (optimality/safety breach)";
+  }
+}
+
+inline void audit_eq4(const harness::System& system) {
+  const auto& recorder = system.recorder();
+  const ccp::DvPrecedence causal(recorder);
+  const auto n = static_cast<ProcessId>(system.process_count());
+  for (ProcessId i = 0; i < n; ++i) {
+    const CheckpointIndex last_i = recorder.last_stable(i);
+    const auto& uc = system.rdt_lgc(i).uc();
+    for (ProcessId f = 0; f < n; ++f) {
+      const CheckpointIndex last_f = recorder.last_stable(f);
+      for (CheckpointIndex g = 0; g <= last_i; ++g) {
+        if (causal.precedes(f, last_f, i, g + 1) &&
+            !causal.precedes(f, last_f, i, g)) {
+          const auto entry = uc.entry(f);
+          ASSERT_TRUE(entry.has_value())
+              << "Eq.4: UC[" << f << "] of p" << i << " is Null, expected s^"
+              << g;
+          ASSERT_EQ(*entry, g) << "Eq.4: UC[" << f << "] of p" << i;
+        }
+      }
+    }
+  }
+}
+
+inline void audit_bounds(const harness::System& system) {
+  const std::size_t n = system.process_count();
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    ASSERT_LE(system.node(p).store().count(), n)
+        << "steady-state bound n violated at p" << p;
+    ASSERT_LE(system.node(p).store().stats().peak_count, n + 1)
+        << "transient bound n+1 violated at p" << p;
+  }
+}
+
+/// Assemble a system + workload, run it to completion, return the system.
+struct RunSpec {
+  std::size_t n = 4;
+  ckpt::ProtocolKind protocol = ckpt::ProtocolKind::kFdas;
+  harness::GcChoice gc = harness::GcChoice::kRdtLgc;
+  workload::WorkloadKind workload = workload::WorkloadKind::kUniform;
+  SimTime duration = 4000;
+  std::uint64_t seed = 1;
+  double loss = 0.0;
+  double checkpoint_probability = 0.2;
+};
+
+inline std::unique_ptr<harness::System> run_workload(const RunSpec& spec) {
+  harness::SystemConfig config;
+  config.process_count = spec.n;
+  config.protocol = spec.protocol;
+  config.gc = spec.gc;
+  config.seed = spec.seed;
+  config.network.loss_probability = spec.loss;
+  auto system = std::make_unique<harness::System>(config);
+
+  workload::WorkloadConfig wl;
+  wl.kind = spec.workload;
+  wl.seed = spec.seed * 7919 + 13;
+  wl.checkpoint_probability = spec.checkpoint_probability;
+  workload::WorkloadDriver driver(system->simulator(), system->node_ptrs(), wl);
+  driver.start(spec.duration);
+  system->simulator().run();
+  return system;
+}
+
+}  // namespace rdtgc::test

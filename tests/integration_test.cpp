@@ -1,0 +1,223 @@
+// End-to-end integration: the full stack (protocol x collector x workload x
+// failures) under one roof, with every paper invariant checked at the end.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gc/synchronous_gc.hpp"
+#include "harness/system.hpp"
+#include "helpers.hpp"
+#include "recovery/failure_injector.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+using GridParam =
+    std::tuple<ckpt::ProtocolKind, workload::WorkloadKind, std::uint64_t>;
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto [p, w, s] = info.param;
+  return test::sanitize(ckpt::protocol_kind_name(p) + "_" +
+                        workload::workload_kind_name(w) + "_s" +
+                        std::to_string(s));
+}
+
+class FullStackGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(FullStackGrid, WorkloadPlusFailuresKeepsEveryInvariant) {
+  const auto [protocol, kind, seed] = GetParam();
+  harness::SystemConfig config;
+  config.process_count = 5;
+  config.protocol = protocol;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.seed = seed;
+  config.network.loss_probability = 0.05;
+  harness::System system(config);
+
+  workload::WorkloadConfig wl;
+  wl.kind = kind;
+  wl.seed = seed * 3 + 1;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(6000);
+
+  recovery::RecoveryManager manager(system.simulator(), system.network(),
+                                    system.recorder(), system.node_ptrs(),
+                                    {});
+  recovery::FailureInjector::Config fc;
+  fc.mean_interval = 2000;
+  fc.seed = seed;
+  recovery::FailureInjector injector(system.simulator(), manager, 5, fc);
+  injector.start(6000);
+
+  system.simulator().run();
+
+  test::audit_rdt(system.recorder());
+  test::audit_eq2(system.recorder());
+  test::audit_safety_theorem1(system);
+  test::audit_eq4(system);
+  test::audit_bounds(system);
+  EXPECT_TRUE(system.recorder().audit_no_orphans());
+  EXPECT_GT(system.total_collected(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FullStackGrid,
+    ::testing::Combine(
+        ::testing::Values(ckpt::ProtocolKind::kFdi, ckpt::ProtocolKind::kFdas,
+                          ckpt::ProtocolKind::kMrs),
+        ::testing::Values(workload::WorkloadKind::kUniform,
+                          workload::WorkloadKind::kRing,
+                          workload::WorkloadKind::kClientServer,
+                          workload::WorkloadKind::kBroadcast,
+                          workload::WorkloadKind::kBursty),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{2024})),
+    grid_name);
+
+TEST(Integration, RdtLgcAndCoordinatedGcCoexistenceComparison) {
+  // Same workload, three collector configurations; storage ordering must be
+  // oracle <= coordinated <= RDT-LGC <= none at the end of the run (after a
+  // final coordinated round).
+  auto run_storage = [](int mode) -> std::size_t {
+    harness::SystemConfig config;
+    config.process_count = 5;
+    config.gc = (mode == 2) ? harness::GcChoice::kRdtLgc
+                            : harness::GcChoice::kNone;
+    config.seed = 5;
+    harness::System system(config);
+    workload::WorkloadConfig wl;
+    wl.seed = 5;
+    workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                    wl);
+    driver.start(4000);
+    std::unique_ptr<gc::SynchronousGcDriver> sync;
+    if (mode == 1) {
+      gc::SynchronousGcDriver::Config sc;
+      sc.period = 200;
+      sc.notify_delay = 10;
+      sync = std::make_unique<gc::SynchronousGcDriver>(
+          system.simulator(), system.recorder(), system.node_ptrs(), sc);
+      sync->start(4000);
+    }
+    system.simulator().run();
+    if (mode == 1) {
+      sync->round();
+      system.simulator().run();
+    }
+    return system.total_stored();
+  };
+  const std::size_t none = run_storage(0);
+  const std::size_t coordinated = run_storage(1);
+  const std::size_t rdt_lgc = run_storage(2);
+  EXPECT_LE(coordinated, rdt_lgc);
+  EXPECT_LE(rdt_lgc, none);
+  EXPECT_LT(rdt_lgc, none / 2) << "RDT-LGC should reclaim most of the history";
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  auto signature = [] {
+    harness::SystemConfig config;
+    config.process_count = 4;
+    config.gc = harness::GcChoice::kRdtLgc;
+    config.seed = 77;
+    config.network.loss_probability = 0.1;
+    harness::System system(config);
+    workload::WorkloadConfig wl;
+    wl.seed = 78;
+    workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                    wl);
+    driver.start(3000);
+    recovery::RecoveryManager manager(system.simulator(), system.network(),
+                                      system.recorder(), system.node_ptrs(),
+                                      {});
+    recovery::FailureInjector::Config fc;
+    fc.mean_interval = 1000;
+    fc.seed = 79;
+    recovery::FailureInjector injector(system.simulator(), manager, 4, fc);
+    injector.start(3000);
+    system.simulator().run();
+
+    std::vector<std::vector<CheckpointIndex>> stored;
+    for (ProcessId p = 0; p < 4; ++p)
+      stored.push_back(system.node(p).store().stored_indices());
+    return std::make_tuple(system.simulator().events_processed(),
+                           system.network().stats().delivered,
+                           system.recorder().stats().rollbacks,
+                           system.total_collected(), stored);
+  };
+  EXPECT_EQ(signature(), signature());
+}
+
+TEST(Integration, LinearRollbackVariantBehavesIdentically) {
+  auto run_with = [](harness::GcChoice gc) {
+    harness::SystemConfig config;
+    config.process_count = 4;
+    config.gc = gc;
+    config.seed = 31;
+    harness::System system(config);
+    workload::WorkloadConfig wl;
+    wl.seed = 32;
+    workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                    wl);
+    driver.start(3000);
+    recovery::RecoveryManager manager(system.simulator(), system.network(),
+                                      system.recorder(), system.node_ptrs(),
+                                      {});
+    system.simulator().run_until(1500);
+    manager.recover({2});
+    system.simulator().run();
+    std::vector<std::vector<CheckpointIndex>> stored;
+    for (ProcessId p = 0; p < 4; ++p)
+      stored.push_back(system.node(p).store().stored_indices());
+    return stored;
+  };
+  // The binary-search and linear rollback scans are different
+  // implementations of the same Algorithm-3 search: identical outcomes.
+  EXPECT_EQ(run_with(harness::GcChoice::kRdtLgc),
+            run_with(harness::GcChoice::kRdtLgcLinear));
+}
+
+TEST(Integration, FifoAndNonFifoBothSafe) {
+  for (const bool fifo : {false, true}) {
+    harness::SystemConfig config;
+    config.process_count = 4;
+    config.gc = harness::GcChoice::kRdtLgc;
+    config.network.fifo = fifo;
+    config.network.max_delay = 40;  // heavy reordering when non-FIFO
+    config.seed = 55;
+    harness::System system(config);
+    workload::WorkloadConfig wl;
+    wl.seed = 56;
+    workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                    wl);
+    driver.start(3000);
+    system.simulator().run();
+    test::audit_rdt(system.recorder());
+    test::audit_exact_corollary1(system);
+    test::audit_bounds(system);
+  }
+}
+
+TEST(Integration, TwoProcessMinimalSystem) {
+  test::RunSpec spec;
+  spec.n = 2;
+  spec.duration = 2000;
+  auto system = test::run_workload(spec);
+  test::audit_exact_corollary1(*system);
+  test::audit_bounds(*system);
+  test::audit_rdt(system->recorder());
+}
+
+TEST(Integration, LargerSystemScales) {
+  test::RunSpec spec;
+  spec.n = 16;
+  spec.duration = 3000;
+  auto system = test::run_workload(spec);
+  test::audit_bounds(*system);
+  test::audit_exact_corollary1(*system);
+  EXPECT_LE(system->total_stored(), 16u * 16u);
+}
+
+}  // namespace
+}  // namespace rdtgc

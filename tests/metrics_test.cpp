@@ -1,0 +1,98 @@
+// Metrics tests: streaming statistics and the storage probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "harness/system.hpp"
+#include "helpers.hpp"
+#include "metrics/running_stat.hpp"
+#include "metrics/storage_probe.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc::metrics {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.stddev(), 0.0);
+  EXPECT_EQ(stat.min(), 0.0);
+  EXPECT_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax) {
+  RunningStat stat;
+  for (const double v : {2.0, 4.0, 6.0}) stat.add(v);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 6.0);
+  EXPECT_EQ(stat.count(), 3u);
+}
+
+TEST(RunningStat, VarianceMatchesTwoPassFormula) {
+  RunningStat stat;
+  const std::vector<double> xs = {1.5, 2.5, 3.0, 7.25, -4.0, 0.0};
+  for (const double x : xs) stat.add(x);
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(stat.variance(), var, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat stat;
+  stat.add(5.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(TimeSeries, KeepsSamplesAndSummary) {
+  TimeSeries series;
+  series.push(1, 10.0);
+  series.push(5, 20.0);
+  ASSERT_EQ(series.samples().size(), 2u);
+  EXPECT_EQ(series.samples()[1].first, 5u);
+  EXPECT_DOUBLE_EQ(series.stat().mean(), 15.0);
+}
+
+TEST(StorageProbe, SamplesPeriodically) {
+  test::RunSpec spec;
+  spec.duration = 0;  // no workload; probe a quiet system
+  harness::SystemConfig config;
+  config.process_count = 3;
+  harness::System system(config);
+  StorageProbe probe(system.simulator(), std::as_const(system).node_ptrs());
+  probe.start(10, 100);
+  system.simulator().run();
+  // Samples at t = 10, 20, ..., 100 (start() stops when now+period > until).
+  EXPECT_EQ(probe.global_series().samples().size(), 10u);
+  // Quiet system: every process stores exactly its initial checkpoint.
+  EXPECT_DOUBLE_EQ(probe.global_series().stat().mean(), 3.0);
+  EXPECT_EQ(probe.peak_process_count(), 1u);
+}
+
+TEST(StorageProbe, TracksWorkloadOccupancy) {
+  harness::SystemConfig config;
+  config.process_count = 4;
+  config.gc = harness::GcChoice::kRdtLgc;
+  harness::System system(config);
+  workload::WorkloadConfig wl;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(2000);
+  StorageProbe probe(system.simulator(), std::as_const(system).node_ptrs());
+  probe.start(50, 2000);
+  system.simulator().run();
+  EXPECT_GT(probe.global_series().samples().size(), 30u);
+  EXPECT_LE(probe.peak_process_count(), 4u);  // the paper's bound n
+  EXPECT_GE(probe.global_series().stat().max(), 4.0);
+  ASSERT_EQ(probe.per_process().size(), 4u);
+  for (const auto& stat : probe.per_process()) EXPECT_GE(stat.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace rdtgc::metrics

@@ -1,0 +1,152 @@
+// Unit tests for the checkpointing middleware (ckpt::Node): dependency-
+// vector bookkeeping, the Algorithm-4 event order, counters, and contracts.
+// Also covers the harness Scenario/System wiring.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "harness/system.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc {
+namespace {
+
+harness::SystemConfig manual_config(std::size_t n) {
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = harness::GcChoice::kNone;
+  config.network.manual = true;
+  return config;
+}
+
+TEST(Node, TakesInitialCheckpointOnConstruction) {
+  harness::System system(manual_config(3));
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(system.node(p).store().contains(0));
+    EXPECT_EQ(system.node(p).dv()[p], 1);  // interval 1 after s^0
+    EXPECT_EQ(system.node(p).current_interval(), 1);
+    EXPECT_EQ(system.node(p).last_checkpoint_index(), 0);
+    EXPECT_EQ(system.recorder().checkpoint(p, 0).kind,
+              ccp::CheckpointKind::kInitial);
+  }
+}
+
+TEST(Node, SendPiggybacksCurrentVector) {
+  harness::System system(manual_config(2));
+  system.node(0).take_basic_checkpoint();
+  const auto id = system.node(0).send_app_message(1, 32);
+  const auto& m = system.recorder().messages()[id - 1];
+  EXPECT_EQ(m.send_interval, 2);
+  EXPECT_EQ(m.src, 0);
+  EXPECT_EQ(m.dst, 1);
+  EXPECT_TRUE(system.node(0).sent_since_checkpoint());
+}
+
+TEST(Node, ReceiveMergesAndCountersTrack) {
+  harness::System system(manual_config(2));
+  system.node(1).take_basic_checkpoint();
+  const auto id = system.node(1).send_app_message(0);
+  system.network().deliver_now(id);
+  EXPECT_EQ(system.node(0).dv()[1], 2);
+  EXPECT_EQ(system.node(0).counters().messages_received, 1u);
+  EXPECT_EQ(system.node(1).counters().messages_sent, 1u);
+  EXPECT_EQ(system.node(1).counters().basic_checkpoints, 1u);
+}
+
+TEST(Node, CheckpointClearsSentFlag) {
+  harness::System system(manual_config(2));
+  system.node(0).send_app_message(1);
+  EXPECT_TRUE(system.node(0).sent_since_checkpoint());
+  system.node(0).take_basic_checkpoint();
+  EXPECT_FALSE(system.node(0).sent_since_checkpoint());
+}
+
+TEST(Node, SelfSendRejected) {
+  harness::System system(manual_config(2));
+  EXPECT_THROW(system.node(0).send_app_message(0), util::ContractViolation);
+}
+
+TEST(Node, RollbackToUnknownCheckpointRejected) {
+  harness::System system(manual_config(2));
+  EXPECT_THROW(system.node(0).rollback_to(5, std::nullopt),
+               util::ContractViolation);
+}
+
+TEST(Node, RollbackRestoresDvAndBumpsCounters) {
+  harness::System system(manual_config(2));
+  system.node(1).take_basic_checkpoint();
+  const auto id = system.node(1).send_app_message(0);
+  system.network().deliver_now(id);      // p0 learns p1's interval 2
+  system.node(0).take_basic_checkpoint();  // s_0^1 records that knowledge
+  system.node(0).take_basic_checkpoint();  // s_0^2
+
+  system.node(0).rollback_to(1, std::nullopt);
+  EXPECT_EQ(system.node(0).dv()[0], 2);  // DV(s^1)[0]+1
+  EXPECT_EQ(system.node(0).dv()[1], 2);  // restored knowledge survives
+  EXPECT_EQ(system.node(0).counters().rollbacks, 1u);
+  EXPECT_FALSE(system.node(0).store().contains(2));
+  EXPECT_FALSE(system.node(0).sent_since_checkpoint());
+}
+
+TEST(Node, CheckpointBytesConfigurable) {
+  harness::SystemConfig config = manual_config(2);
+  config.node.checkpoint_bytes = 128;
+  harness::System system(config);
+  EXPECT_EQ(system.node(0).store().bytes(), 128u);
+  system.node(0).take_basic_checkpoint();
+  EXPECT_EQ(system.node(0).store().bytes(), 256u);
+}
+
+TEST(System, RejectsRdtLgcAccessorOnNoGcSystems) {
+  harness::System system(manual_config(2));
+  EXPECT_THROW(system.rdt_lgc(0), util::ContractViolation);
+}
+
+TEST(System, TotalsAggregate) {
+  harness::System system(manual_config(3));
+  EXPECT_EQ(system.total_stored(), 3u);
+  EXPECT_EQ(system.total_collected(), 0u);
+  EXPECT_EQ(system.process_count(), 3u);
+}
+
+TEST(System, GcChoiceNames) {
+  EXPECT_EQ(harness::gc_choice_name(harness::GcChoice::kNone), "none");
+  EXPECT_EQ(harness::gc_choice_name(harness::GcChoice::kRdtLgc), "RDT-LGC");
+  EXPECT_EQ(harness::gc_choice_name(harness::GcChoice::kRdtLgcLinear),
+            "RDT-LGC(linear)");
+}
+
+TEST(Scenario, LabelsMapToMessageIds) {
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kUncoordinated,
+                             harness::GcChoice::kNone);
+  scenario.send(0, 1, "a");
+  scenario.send(0, 1, "b");
+  EXPECT_NE(scenario.message_id("a"), scenario.message_id("b"));
+  EXPECT_THROW(scenario.message_id("c"), util::ContractViolation);
+  EXPECT_THROW(scenario.send(0, 1, "a"), util::ContractViolation);  // reuse
+}
+
+TEST(Scenario, StepsAdvanceSimulatedTime) {
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kUncoordinated,
+                             harness::GcChoice::kNone);
+  const SimTime before = scenario.system().simulator().now();
+  scenario.checkpoint(0);
+  scenario.send(0, 1, "m");
+  scenario.deliver("m");
+  EXPECT_EQ(scenario.system().simulator().now(), before + 3);
+}
+
+TEST(Node, ForcedCheckpointCountedSeparately) {
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kFdi,
+                             harness::GcChoice::kNone);
+  scenario.checkpoint(1);
+  scenario.send(1, 0, "m");
+  scenario.deliver("m");  // FDI forces at p0
+  EXPECT_EQ(scenario.node(0).counters().forced_checkpoints, 1u);
+  EXPECT_EQ(scenario.node(0).counters().basic_checkpoints, 0u);
+  EXPECT_EQ(scenario.recorder().checkpoint(0, 1).kind,
+            ccp::CheckpointKind::kForced);
+}
+
+}  // namespace
+}  // namespace rdtgc

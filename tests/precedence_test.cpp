@@ -1,0 +1,130 @@
+// Tests for the two causal-precedence oracles and the paper's Equation 2:
+// the dependency-vector formula must agree with ground-truth event-graph
+// causality on every pair of general checkpoints, across protocols,
+// workloads and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ccp/precedence.hpp"
+#include "harness/figures.hpp"
+#include "helpers.hpp"
+
+namespace rdtgc {
+namespace {
+
+TEST(CausalGraph, ProgramOrderWithinProcess) {
+  auto scenario = harness::figures::figure1(true);
+  const ccp::CausalGraph causal(scenario->recorder());
+  // p3 (code 2) has s^0, s^1, s^2 and the volatile state (index 3).
+  EXPECT_TRUE(causal.precedes(2, 0, 2, 1));
+  EXPECT_TRUE(causal.precedes(2, 1, 2, 2));
+  EXPECT_TRUE(causal.precedes(2, 0, 2, 3));
+  EXPECT_FALSE(causal.precedes(2, 1, 2, 0));
+  EXPECT_FALSE(causal.precedes(2, 1, 2, 1));  // irreflexive
+}
+
+TEST(CausalGraph, MessageEdgesCreatePrecedence) {
+  auto scenario = harness::figures::figure1(true);
+  const ccp::CausalGraph causal(scenario->recorder());
+  // m3 gives s_1^1 -> s_3^2 (paper 1-based; code: c_0^1 -> c_2^2).
+  EXPECT_TRUE(causal.precedes(0, 1, 2, 2));
+  // But not the reverse.
+  EXPECT_FALSE(causal.precedes(2, 2, 0, 1));
+}
+
+TEST(CausalGraph, WithoutM3NoCausalDoubling) {
+  auto scenario = harness::figures::figure1(false);
+  const ccp::CausalGraph causal(scenario->recorder());
+  EXPECT_FALSE(causal.precedes(0, 1, 2, 2));
+}
+
+TEST(CausalGraph, VolatileStatesPrecedeNothing) {
+  auto scenario = harness::figures::figure1(true);
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  for (ProcessId a = 0; a < 3; ++a) {
+    const CheckpointIndex va = recorder.last_stable(a) + 1;
+    for (ProcessId b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const CheckpointIndex lb = recorder.last_stable(b);
+      for (CheckpointIndex beta = 0; beta <= lb + 1; ++beta)
+        EXPECT_FALSE(causal.precedes(a, va, b, beta));
+    }
+  }
+}
+
+TEST(CausalGraph, StableCheckpointPrecedesOwnVolatile) {
+  auto scenario = harness::figures::figure1(true);
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  for (ProcessId p = 0; p < 3; ++p) {
+    const CheckpointIndex last = recorder.last_stable(p);
+    EXPECT_TRUE(causal.precedes(p, last, p, last + 1));
+  }
+}
+
+TEST(DvPrecedence, MatchesEquation2OnFigure1) {
+  auto scenario = harness::figures::figure1(true);
+  test::audit_eq2(scenario->recorder());
+}
+
+TEST(DvPrecedence, MatchesEquation2OnFigure3) {
+  auto scenario = harness::figures::figure3();
+  test::audit_eq2(scenario->recorder());
+}
+
+// Equation 2 must hold on arbitrary executions regardless of protocol — the
+// dependency vectors track transitive causal dependencies exactly.
+using Eq2Param = std::tuple<ckpt::ProtocolKind, workload::WorkloadKind,
+                            std::size_t, std::uint64_t>;
+
+std::string eq2_param_name(const ::testing::TestParamInfo<Eq2Param>& info) {
+  const auto [p, w, n, s] = info.param;
+  return test::sanitize(ckpt::protocol_kind_name(p) + "_" +
+                        workload::workload_kind_name(w) + "_n" +
+                        std::to_string(n) + "_s" + std::to_string(s));
+}
+
+class Equation2Property : public ::testing::TestWithParam<Eq2Param> {};
+
+TEST_P(Equation2Property, DvEqualsEventGraphCausality) {
+  const auto [protocol, kind, n, seed] = GetParam();
+  test::RunSpec spec;
+  spec.protocol = protocol;
+  spec.workload = kind;
+  spec.n = n;
+  spec.seed = seed;
+  spec.duration = 1500;
+  spec.gc = harness::GcChoice::kNone;  // keep every checkpoint for the audit
+  auto system = test::run_workload(spec);
+  test::audit_eq2(system->recorder());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Equation2Property,
+    ::testing::Combine(
+        ::testing::Values(ckpt::ProtocolKind::kUncoordinated,
+                          ckpt::ProtocolKind::kFdi, ckpt::ProtocolKind::kFdas,
+                          ckpt::ProtocolKind::kMrs),
+        ::testing::Values(workload::WorkloadKind::kUniform,
+                          workload::WorkloadKind::kRing,
+                          workload::WorkloadKind::kClientServer),
+        ::testing::Values(std::size_t{2}, std::size_t{5}),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{99})),
+    eq2_param_name);
+
+// Message loss must not break dependency tracking (DVs only flow through
+// delivered messages).
+TEST(Equation2, HoldsUnderMessageLoss) {
+  test::RunSpec spec;
+  spec.loss = 0.3;
+  spec.gc = harness::GcChoice::kNone;
+  spec.duration = 2000;
+  auto system = test::run_workload(spec);
+  EXPECT_GT(system->network().stats().lost, 0u);
+  test::audit_eq2(system->recorder());
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -1,0 +1,231 @@
+// RDT-LGC behavioral tests: the Algorithm-2 event handlers on scripted
+// patterns, the safety/optimality/bound invariants checked after *every*
+// simulator event on randomized runs, and edge cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ccp/analysis.hpp"
+#include "harness/scenario.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+TEST(RdtLgc, OnlyLastCheckpointSurvivesWithoutCommunication) {
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kFdas,
+                             harness::GcChoice::kRdtLgc);
+  for (int k = 0; k < 5; ++k) scenario.checkpoint(0);
+  EXPECT_EQ(scenario.node(0).store().stored_indices(),
+            (std::vector<CheckpointIndex>{5}));
+  EXPECT_EQ(scenario.node(0).store().stats().collected, 5u);
+}
+
+TEST(RdtLgc, NewDependencyPinsTheLastCheckpoint) {
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kFdas,
+                             harness::GcChoice::kRdtLgc);
+  scenario.checkpoint(0);  // s_0^1
+  scenario.send(1, 0, "m");
+  scenario.deliver("m");  // pins s_0^1 through UC[1]
+  scenario.checkpoint(0);
+  scenario.checkpoint(0);
+  // s_0^1 pinned, s_0^2 collected, s_0^3 is last; s_0^0 died when s_0^1
+  // replaced it as UC[self] (nothing else pinned it).
+  EXPECT_EQ(scenario.node(0).store().stored_indices(),
+            (std::vector<CheckpointIndex>{1, 3}));
+  EXPECT_EQ(scenario.system().rdt_lgc(0).uc().entry(1),
+            std::optional<CheckpointIndex>(1));
+}
+
+TEST(RdtLgc, StaleMessagesDoNotMovePins) {
+  harness::Scenario scenario(3, ckpt::ProtocolKind::kUncoordinated,
+                             harness::GcChoice::kRdtLgc);
+  scenario.send(1, 0, "fresh1");
+  scenario.deliver("fresh1");  // UC[1] <- s_0^0
+  scenario.checkpoint(0);      // s_0^1
+  // p1 sends again without having checkpointed: no new dependency.
+  scenario.send(1, 0, "stale");
+  scenario.deliver("stale");
+  EXPECT_EQ(scenario.system().rdt_lgc(0).uc().entry(1),
+            std::optional<CheckpointIndex>(0));
+  // After p1 checkpoints, a fresh message moves the pin to p0's last — and
+  // s_0^0, now pinned by nobody, becomes obsolete and is collected.
+  scenario.checkpoint(1);
+  scenario.send(1, 0, "fresh2");
+  scenario.deliver("fresh2");
+  EXPECT_EQ(scenario.system().rdt_lgc(0).uc().entry(1),
+            std::optional<CheckpointIndex>(1));
+  EXPECT_EQ(scenario.node(0).store().stored_indices(),
+            (std::vector<CheckpointIndex>{1}));
+}
+
+TEST(RdtLgc, ForcedCheckpointStoresPreMergeVector) {
+  // Algorithm 4 ordering: the forced checkpoint is taken *before* the
+  // receipt, so its stored DV must not contain the message's dependencies.
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kFdas,
+                             harness::GcChoice::kRdtLgc);
+  scenario.checkpoint(1);
+  scenario.send(1, 0, "m1");
+  scenario.send(0, 1, "out");  // p0 sets its sent flag
+  scenario.deliver("m1");      // forced checkpoint at p0 before the merge
+  EXPECT_EQ(scenario.node(0).counters().forced_checkpoints, 1u);
+  const auto& forced = scenario.node(0).store().get(1);
+  EXPECT_EQ(forced.dv[1], 0) << "stored DV must predate the receipt";
+  EXPECT_EQ(scenario.node(0).dv()[1], 2) << "merge happens after the store";
+}
+
+TEST(RdtLgc, SelfEntryAlwaysTracksLastCheckpoint) {
+  harness::Scenario scenario(2, ckpt::ProtocolKind::kFdas,
+                             harness::GcChoice::kRdtLgc);
+  for (int k = 1; k <= 3; ++k) {
+    scenario.checkpoint(1);
+    EXPECT_EQ(scenario.system().rdt_lgc(1).uc().entry(1),
+              std::optional<CheckpointIndex>(k));
+  }
+}
+
+TEST(RdtLgc, MultiplePinnersKeepCheckpointAlive) {
+  harness::Scenario scenario(4, ckpt::ProtocolKind::kUncoordinated,
+                             harness::GcChoice::kRdtLgc);
+  scenario.checkpoint(0);  // s_0^1
+  for (ProcessId q : {1, 2, 3}) {
+    const std::string label = "m" + std::to_string(q);
+    scenario.send(q, 0, label);
+    scenario.deliver(label);  // all three pin s_0^1
+  }
+  const auto& uc = scenario.system().rdt_lgc(0).uc();
+  EXPECT_EQ(uc.ref_count(1), 4);  // UC[0..3] all reference s^1
+  scenario.checkpoint(0);
+  scenario.checkpoint(0);
+  // Still pinned by the three peers even though two checkpoints passed.
+  EXPECT_TRUE(scenario.node(0).store().contains(1));
+}
+
+TEST(RdtLgc, InitializeTwiceRejected) {
+  core::RdtLgc lgc;
+  ckpt::CheckpointStore store(0);
+  lgc.initialize(0, 2, store);
+  EXPECT_THROW(lgc.initialize(0, 2, store), util::ContractViolation);
+}
+
+TEST(RdtLgc, HooksBeforeInitializeRejected) {
+  core::RdtLgc lgc;
+  EXPECT_THROW(lgc.on_new_dependency(1), util::ContractViolation);
+  EXPECT_THROW(lgc.on_checkpoint_stored(0), util::ContractViolation);
+}
+
+// ---- Per-event property audits ----
+//
+// After EVERY simulator event: the stored set equals the Corollary-1 set
+// (Theorem 5 optimality + safety), the Eq.4 invariant holds (Theorem 3), and
+// the storage bounds of §4.5 hold.  This is the strongest check in the
+// suite: it validates the algorithm's state machine transition by
+// transition, not just at quiescence.
+using StepParam = std::tuple<workload::WorkloadKind, std::size_t, std::uint64_t>;
+
+std::string step_param_name(const ::testing::TestParamInfo<StepParam>& info) {
+  const auto [w, n, s] = info.param;
+  return test::sanitize(workload::workload_kind_name(w) + "_n" +
+                        std::to_string(n) + "_s" + std::to_string(s));
+}
+
+class PerEventInvariants : public ::testing::TestWithParam<StepParam> {};
+
+TEST_P(PerEventInvariants, HoldAfterEverySimulatorEvent) {
+  const auto [kind, n, seed] = GetParam();
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.seed = seed;
+  harness::System system(config);
+
+  workload::WorkloadConfig wl;
+  wl.kind = kind;
+  wl.seed = seed;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(600);
+
+  while (system.simulator().step()) {
+    test::audit_exact_corollary1(system);
+    test::audit_eq4(system);
+    test::audit_bounds(system);
+  }
+  test::audit_safety_theorem1(system);
+  test::audit_rdt(system.recorder());
+  EXPECT_GT(system.total_collected(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PerEventInvariants,
+    ::testing::Combine(::testing::Values(workload::WorkloadKind::kUniform,
+                                         workload::WorkloadKind::kRing,
+                                         workload::WorkloadKind::kBroadcast),
+                       ::testing::Values(std::size_t{2}, std::size_t{4}),
+                       ::testing::Values(std::uint64_t{5}, std::uint64_t{77})),
+    step_param_name);
+
+// FDI and MRS runs must satisfy the same invariants (the collector only
+// assumes RDT, not a specific protocol).
+class PerEventInvariantsProtocols
+    : public ::testing::TestWithParam<ckpt::ProtocolKind> {};
+
+TEST_P(PerEventInvariantsProtocols, HoldUnderEveryRdtProtocol) {
+  harness::SystemConfig config;
+  config.process_count = 3;
+  config.protocol = GetParam();
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.seed = 11;
+  harness::System system(config);
+
+  workload::WorkloadConfig wl;
+  wl.seed = 11;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(600);
+  while (system.simulator().step()) {
+    test::audit_exact_corollary1(system);
+    test::audit_eq4(system);
+    test::audit_bounds(system);
+  }
+  test::audit_rdt(system.recorder());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PerEventInvariantsProtocols,
+                         ::testing::Values(ckpt::ProtocolKind::kFdi,
+                                           ckpt::ProtocolKind::kFdas,
+                                           ckpt::ProtocolKind::kMrs),
+                         [](const auto& info) {
+                           return ckpt::protocol_kind_name(info.param);
+                         });
+
+TEST(RdtLgc, LongRunStaysBoundedAndCollectsAlmostEverything) {
+  test::RunSpec spec;
+  spec.n = 8;
+  spec.duration = 20000;
+  auto system = test::run_workload(spec);
+  test::audit_bounds(*system);
+  test::audit_exact_corollary1(*system);
+  std::uint64_t taken = 0;
+  for (ProcessId p = 0; p < 8; ++p) {
+    const auto& c = system->node(p).counters();
+    taken += 1 + c.basic_checkpoints + c.forced_checkpoints;
+  }
+  // Storage stays O(n^2) while the history grows without bound.
+  EXPECT_GT(taken, 400u);
+  EXPECT_LE(system->total_stored(), 64u);
+}
+
+TEST(RdtLgc, MessageLossDelaysButNeverBreaksCollection) {
+  test::RunSpec spec;
+  spec.loss = 0.4;
+  spec.duration = 4000;
+  auto system = test::run_workload(spec);
+  test::audit_exact_corollary1(*system);
+  test::audit_safety_theorem1(*system);
+  test::audit_bounds(*system);
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -1,0 +1,242 @@
+// Recovery-session tests: the RecoveryManager end to end, Algorithm 3 in
+// both information models (LI and DV-only), peer recovery, failure
+// injection, and post-recovery invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "harness/system.hpp"
+#include "helpers.hpp"
+#include "recovery/failure_injector.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+/// Safety sandwich after recovery: Theorem-1 non-obsolete ⊆ stored ⊆
+/// Corollary-1 retained.  (With global information Algorithm 3 collects
+/// strictly more than causal knowledge alone, so equality with the
+/// Corollary-1 set is not required.)
+void audit_sandwich(const harness::System& system) {
+  test::audit_safety_theorem1(system);
+  const auto& recorder = system.recorder();
+  for (ProcessId p = 0; p < static_cast<ProcessId>(system.process_count());
+       ++p) {
+    const auto retained = ccp::retained_corollary1(recorder, p);
+    const std::set<CheckpointIndex> allowed(retained.begin(), retained.end());
+    for (const CheckpointIndex g : system.node(p).store().stored_indices())
+      EXPECT_TRUE(allowed.count(g))
+          << "p" << p << " retains s^" << g
+          << " beyond what causal knowledge permits";
+  }
+}
+
+struct Rig {
+  std::unique_ptr<harness::System> system;
+  std::unique_ptr<workload::WorkloadDriver> driver;
+  std::unique_ptr<recovery::RecoveryManager> manager;
+};
+
+Rig make_rig(std::uint64_t seed, std::size_t n, bool global_info,
+             harness::GcChoice gc = harness::GcChoice::kRdtLgc) {
+  Rig rig;
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = gc;
+  config.seed = seed;
+  rig.system = std::make_unique<harness::System>(config);
+  workload::WorkloadConfig wl;
+  wl.seed = seed + 1;
+  rig.driver = std::make_unique<workload::WorkloadDriver>(
+      rig.system->simulator(), rig.system->node_ptrs(), wl);
+  recovery::RecoveryManager::Config rc;
+  rc.global_information = global_info;
+  rig.manager = std::make_unique<recovery::RecoveryManager>(
+      rig.system->simulator(), rig.system->network(), rig.system->recorder(),
+      rig.system->node_ptrs(), rc);
+  return rig;
+}
+
+TEST(Recovery, SingleFailureRestoresAConsistentLine) {
+  Rig rig = make_rig(3, 4, true);
+  rig.driver->start(2000);
+  rig.system->simulator().run_until(1000);
+
+  const auto outcome = rig.manager->recover({1});
+  // The faulty process must restore a stable checkpoint.
+  EXPECT_LE(outcome.line[1], rig.system->recorder().last_stable(1));
+  // After the rollback the restored cut is exactly the line: every process
+  // sits at the line's interval.
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(rig.system->recorder().last_stable(p) + 1,
+              rig.system->node(p).dv()[p]);
+  }
+  EXPECT_TRUE(rig.system->recorder().audit_no_orphans());
+
+  // Execution continues and the invariants still hold.
+  rig.system->simulator().run();
+  test::audit_rdt(rig.system->recorder());
+  test::audit_eq2(rig.system->recorder());
+  audit_sandwich(*rig.system);
+  test::audit_eq4(*rig.system);
+  test::audit_bounds(*rig.system);
+}
+
+TEST(Recovery, CausalOnlyVariantKeepsCorollary1Exactness) {
+  Rig rig = make_rig(5, 4, /*global_info=*/false);
+  rig.driver->start(2000);
+  rig.system->simulator().run_until(900);
+  rig.manager->recover({2});
+  rig.system->simulator().run();
+  // The DV-variant of Algorithm 3 collects exactly per Theorem 2, so the
+  // stored set must still equal the Corollary-1 set everywhere.
+  test::audit_exact_corollary1(*rig.system);
+  test::audit_eq4(*rig.system);
+  test::audit_safety_theorem1(*rig.system);
+  test::audit_rdt(rig.system->recorder());
+}
+
+TEST(Recovery, MultiProcessFailure) {
+  Rig rig = make_rig(7, 5, true);
+  rig.driver->start(3000);
+  rig.system->simulator().run_until(1500);
+  const auto outcome = rig.manager->recover({0, 3});
+  EXPECT_LE(outcome.line[0], rig.system->recorder().last_stable(0));
+  EXPECT_LE(outcome.line[3], rig.system->recorder().last_stable(3));
+  rig.system->simulator().run();
+  audit_sandwich(*rig.system);
+  test::audit_rdt(rig.system->recorder());
+  test::audit_bounds(*rig.system);
+}
+
+TEST(Recovery, RepeatedFailuresSurvive) {
+  Rig rig = make_rig(11, 4, true);
+  rig.driver->start(6000);
+  for (SimTime t : {1000u, 2500u, 4000u, 5500u}) {
+    rig.system->simulator().run_until(t);
+    rig.manager->recover({static_cast<ProcessId>(t / 1000 % 4)});
+  }
+  rig.system->simulator().run();
+  EXPECT_EQ(rig.manager->stats().sessions, 4u);
+  audit_sandwich(*rig.system);
+  test::audit_eq4(*rig.system);
+  test::audit_rdt(rig.system->recorder());
+  EXPECT_TRUE(rig.system->recorder().audit_no_orphans());
+}
+
+TEST(Recovery, InTransitMessagesAreDropped) {
+  Rig rig = make_rig(13, 3, true);
+  rig.driver->start(2000);
+  // Stop at a moment with something actually in flight.
+  rig.system->simulator().run_until(800);
+  while (rig.system->network().in_flight() == 0)
+    rig.system->simulator().run_until(rig.system->simulator().now() + 1);
+  const auto in_flight = rig.system->network().in_flight();
+  ASSERT_GT(in_flight, 0u);
+  rig.manager->recover({0});
+  EXPECT_EQ(rig.system->network().in_flight(), 0u);
+  rig.system->simulator().run();
+  // The dropped deliveries are accounted when their stale events surface.
+  EXPECT_GE(rig.system->network().stats().dropped_in_flight, in_flight);
+  EXPECT_TRUE(rig.system->recorder().audit_no_orphans());
+}
+
+TEST(Recovery, RollbackDiscardsAreNotCollections) {
+  Rig rig = make_rig(17, 3, true, harness::GcChoice::kNone);
+  rig.driver->start(1500);
+  rig.system->simulator().run_until(1200);
+  const auto outcome = rig.manager->recover({1});
+  std::uint64_t discarded = 0;
+  for (ProcessId p = 0; p < 3; ++p)
+    discarded += rig.system->node(p).store().stats().discarded;
+  EXPECT_EQ(discarded, outcome.checkpoints_discarded);
+  EXPECT_GE(outcome.general_checkpoints_rolled_back, outcome.rolled_back.size());
+}
+
+TEST(Recovery, PeerRecoveryReleasesStalePins) {
+  // With global information, a process that does not roll back releases
+  // every UC[f] with DV[f] < LI[f] (§4.3): its knowledge of f is older than
+  // f's restored position, so f's last checkpoint precedes nothing here.
+  harness::SystemConfig config;
+  config.process_count = 3;
+  config.protocol = ckpt::ProtocolKind::kUncoordinated;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.network.manual = true;
+  harness::System system(config);
+  auto& simulator = system.simulator();
+  auto step = [&] { simulator.run_until(simulator.now() + 1); };
+
+  // p1 tells p0 about its initial checkpoint: p0 pins s_0^0 through UC[1].
+  step();
+  const auto mid = system.node(1).send_app_message(0);
+  step();
+  system.network().deliver_now(mid);
+  step();
+  system.node(0).take_basic_checkpoint();  // s_0^1
+  ASSERT_EQ(system.rdt_lgc(0).uc().entry(1), std::optional<CheckpointIndex>(0));
+  ASSERT_TRUE(system.node(0).store().contains(0));
+
+  // p1 silently advances: p0's knowledge (interval 1) goes stale.
+  step();
+  system.node(1).take_basic_checkpoint();
+  step();
+  system.node(1).take_basic_checkpoint();
+
+  // An unrelated process fails.  p0 keeps its volatile state, receives LI
+  // with LI[p1] = 3 > DV[p1] = 1, and releases the stale pin — which makes
+  // s_0^0 obsolete (Theorem 1 agrees: p1's s^2 precedes nothing at p0).
+  recovery::RecoveryManager manager(simulator, system.network(),
+                                    system.recorder(), system.node_ptrs(), {});
+  manager.recover({2});
+  EXPECT_FALSE(system.rdt_lgc(0).uc().entry(1).has_value());
+  EXPECT_FALSE(system.node(0).store().contains(0));
+  test::audit_safety_theorem1(system);
+}
+
+TEST(FailureInjector, DrivesDeterministicSessions) {
+  auto run_once = [](std::uint64_t seed) {
+    Rig rig = make_rig(seed, 4, true);
+    rig.driver->start(5000);
+    recovery::FailureInjector::Config fc;
+    fc.mean_interval = 1200;
+    fc.seed = seed;
+    recovery::FailureInjector injector(rig.system->simulator(), *rig.manager,
+                                       4, fc);
+    injector.start(5000);
+    rig.system->simulator().run();
+    return std::make_tuple(injector.outcomes().size(),
+                           rig.manager->stats().checkpoints_discarded,
+                           rig.system->total_collected());
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::get<0>(a), 0u);
+}
+
+TEST(FailureInjector, SystemStaysSaneUnderRandomFailures) {
+  Rig rig = make_rig(23, 5, true);
+  rig.driver->start(8000);
+  recovery::FailureInjector::Config fc;
+  fc.mean_interval = 1500;
+  fc.multi_failure_prob = 0.5;
+  fc.seed = 99;
+  recovery::FailureInjector injector(rig.system->simulator(), *rig.manager, 5,
+                                     fc);
+  injector.start(8000);
+  rig.system->simulator().run();
+  ASSERT_GT(injector.outcomes().size(), 0u);
+  audit_sandwich(*rig.system);
+  test::audit_eq4(*rig.system);
+  test::audit_bounds(*rig.system);
+  test::audit_rdt(rig.system->recorder());
+  test::audit_eq2(rig.system->recorder());
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -1,0 +1,106 @@
+// Unit tests for the stable-storage model (ckpt::CheckpointStore).
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint_store.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc::ckpt {
+namespace {
+
+StoredCheckpoint make(CheckpointIndex index, std::uint64_t bytes = 1) {
+  StoredCheckpoint c;
+  c.index = index;
+  c.dv = causality::DependencyVector(2);
+  c.dv.at(0) = index;
+  c.bytes = bytes;
+  return c;
+}
+
+TEST(CheckpointStore, PutAndGet) {
+  CheckpointStore store(0);
+  store.put(make(0, 5));
+  ASSERT_TRUE(store.contains(0));
+  EXPECT_EQ(store.get(0).bytes, 5u);
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.bytes(), 5u);
+  EXPECT_EQ(store.owner(), 0);
+}
+
+TEST(CheckpointStore, IndicesMustIncrease) {
+  CheckpointStore store(0);
+  store.put(make(0));
+  store.put(make(3));
+  EXPECT_THROW(store.put(make(2)), util::ContractViolation);
+  EXPECT_THROW(store.put(make(3)), util::ContractViolation);
+}
+
+TEST(CheckpointStore, CollectRemovesAndCounts) {
+  CheckpointStore store(0);
+  store.put(make(0, 2));
+  store.put(make(1, 3));
+  store.collect(0);
+  EXPECT_FALSE(store.contains(0));
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.bytes(), 3u);
+  EXPECT_EQ(store.stats().collected, 1u);
+}
+
+TEST(CheckpointStore, CollectMissingRejected) {
+  CheckpointStore store(0);
+  store.put(make(0));
+  EXPECT_THROW(store.collect(1), util::ContractViolation);
+  store.collect(0);
+  EXPECT_THROW(store.collect(0), util::ContractViolation);
+}
+
+TEST(CheckpointStore, DiscardAfterKeepsPrefix) {
+  CheckpointStore store(0);
+  for (CheckpointIndex i = 0; i < 5; ++i) store.put(make(i));
+  EXPECT_EQ(store.discard_after(2), 2u);
+  EXPECT_EQ(store.stored_indices(), (std::vector<CheckpointIndex>{0, 1, 2}));
+  EXPECT_EQ(store.stats().discarded, 2u);
+  EXPECT_EQ(store.stats().collected, 0u);  // rollback discards are not GC
+}
+
+TEST(CheckpointStore, DiscardAfterAllowsIndexReuse) {
+  CheckpointStore store(0);
+  store.put(make(0));
+  store.put(make(1));
+  store.discard_after(0);
+  store.put(make(1));  // lineage restart
+  EXPECT_TRUE(store.contains(1));
+}
+
+TEST(CheckpointStore, PeakTracksTransientOccupancy) {
+  CheckpointStore store(0);
+  store.put(make(0, 4));
+  store.put(make(1, 4));
+  store.put(make(2, 4));
+  store.collect(0);
+  store.collect(1);
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.stats().peak_count, 3u);
+  EXPECT_EQ(store.stats().peak_bytes, 12u);
+}
+
+TEST(CheckpointStore, LastIndexSkipsHoles) {
+  CheckpointStore store(0);
+  store.put(make(0));
+  store.put(make(1));
+  store.put(make(2));
+  store.collect(1);
+  EXPECT_EQ(store.last_index(), 2);
+  EXPECT_EQ(store.stored_indices(), (std::vector<CheckpointIndex>{0, 2}));
+}
+
+TEST(CheckpointStore, StoredCountAccumulates) {
+  CheckpointStore store(0);
+  store.put(make(0));
+  store.put(make(1));
+  store.collect(0);
+  store.put(make(2));
+  EXPECT_EQ(store.stats().stored, 3u);
+}
+
+}  // namespace
+}  // namespace rdtgc::ckpt

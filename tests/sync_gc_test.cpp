@@ -1,0 +1,200 @@
+// Tests for the synchronous GC baselines (coordinated Wang '95 and the
+// recovery-line collector) and the Theorem-1 oracle collector.
+#include <gtest/gtest.h>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "gc/oracle_gc.hpp"
+#include "gc/synchronous_gc.hpp"
+#include "harness/system.hpp"
+#include "helpers.hpp"
+#include "recovery/recovery_manager.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+struct Rig {
+  std::unique_ptr<harness::System> system;
+  std::unique_ptr<workload::WorkloadDriver> driver;
+};
+
+Rig make_rig(std::uint64_t seed, std::size_t n) {
+  Rig rig;
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = harness::GcChoice::kNone;  // external drivers collect
+  config.seed = seed;
+  rig.system = std::make_unique<harness::System>(config);
+  workload::WorkloadConfig wl;
+  wl.seed = seed;
+  rig.driver = std::make_unique<workload::WorkloadDriver>(
+      rig.system->simulator(), rig.system->node_ptrs(), wl);
+  return rig;
+}
+
+TEST(OracleGc, SweepLeavesExactlyTheNonObsoleteSet) {
+  Rig rig = make_rig(1, 4);
+  rig.driver->start(2000);
+  rig.system->simulator().run();
+  gc::OracleGcDriver oracle(rig.system->recorder(), rig.system->node_ptrs());
+  const std::uint64_t swept = oracle.sweep();
+  EXPECT_GT(swept, 0u);
+  const ccp::DvPrecedence causal(rig.system->recorder());
+  const auto obsolete = ccp::obsolete_theorem1(rig.system->recorder(), causal);
+  for (ProcessId p = 0; p < 4; ++p) {
+    for (CheckpointIndex g = 0; g <= rig.system->recorder().last_stable(p);
+         ++g) {
+      EXPECT_EQ(
+          rig.system->node(p).store().contains(g),
+          !obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)]);
+    }
+  }
+  // A second sweep finds nothing new.
+  EXPECT_EQ(oracle.sweep(), 0u);
+  EXPECT_EQ(oracle.collected(), swept);
+}
+
+TEST(OracleGc, NeverCollectsBelowTheSynchronousBound) {
+  // Wang et al. [21]: with all obsolete checkpoints eliminated, at most
+  // n(n+1)/2 remain globally.
+  Rig rig = make_rig(2, 6);
+  rig.driver->start(4000);
+  rig.system->simulator().run();
+  gc::OracleGcDriver oracle(rig.system->recorder(), rig.system->node_ptrs());
+  oracle.sweep();
+  EXPECT_LE(rig.system->total_stored(), 6u * 7u / 2u);
+  test::audit_safety_theorem1(*rig.system);
+}
+
+TEST(CoordinatedWangGc, PeriodicRoundsCollectSafely) {
+  Rig rig = make_rig(3, 4);
+  gc::SynchronousGcDriver::Config config;
+  config.policy = gc::SyncGcPolicy::kWangTheorem1;
+  config.period = 300;
+  config.notify_delay = 15;
+  gc::SynchronousGcDriver driver(rig.system->simulator(),
+                                 rig.system->recorder(),
+                                 rig.system->node_ptrs(), config);
+  rig.driver->start(4000);
+  driver.start(4000);
+  rig.system->simulator().run();
+  EXPECT_GT(driver.stats().rounds, 5u);
+  EXPECT_GT(driver.stats().collected, 0u);
+  EXPECT_EQ(driver.stats().control_messages, driver.stats().rounds * 12);
+  test::audit_safety_theorem1(*rig.system);
+  EXPECT_EQ(driver.name(), "coordinated-Wang95");
+}
+
+TEST(CoordinatedWangGc, FinalRoundReachesTheorem1Exactly) {
+  Rig rig = make_rig(4, 4);
+  rig.driver->start(2500);
+  rig.system->simulator().run();
+  gc::SynchronousGcDriver::Config config;
+  config.notify_delay = 5;
+  gc::SynchronousGcDriver driver(rig.system->simulator(),
+                                 rig.system->recorder(),
+                                 rig.system->node_ptrs(), config);
+  driver.round();
+  rig.system->simulator().run();  // flush the delayed release
+  const ccp::DvPrecedence causal(rig.system->recorder());
+  const auto obsolete = ccp::obsolete_theorem1(rig.system->recorder(), causal);
+  for (ProcessId p = 0; p < 4; ++p)
+    for (CheckpointIndex g = 0; g <= rig.system->recorder().last_stable(p);
+         ++g)
+      EXPECT_EQ(
+          rig.system->node(p).store().contains(g),
+          !obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)]);
+}
+
+TEST(RecoveryLineGc, CollectsOnlyBelowTheAllFaultyLine) {
+  Rig rig = make_rig(5, 4);
+  rig.driver->start(2500);
+  rig.system->simulator().run();
+  gc::SynchronousGcDriver::Config config;
+  config.policy = gc::SyncGcPolicy::kRecoveryLine;
+  config.notify_delay = 1;
+  gc::SynchronousGcDriver driver(rig.system->simulator(),
+                                 rig.system->recorder(),
+                                 rig.system->node_ptrs(), config);
+  driver.round();
+  rig.system->simulator().run();
+
+  const ccp::DvPrecedence causal(rig.system->recorder());
+  const std::vector<bool> all(4, true);
+  const auto line =
+      ccp::recovery_line_lemma1(rig.system->recorder(), causal, all);
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto stored = rig.system->node(p).store().stored_indices();
+    // Everything >= line survives, everything below is gone.
+    for (const CheckpointIndex g : stored)
+      EXPECT_GE(g, line[static_cast<std::size_t>(p)]);
+    EXPECT_TRUE(rig.system->node(p).store().contains(
+        line[static_cast<std::size_t>(p)]));
+  }
+  test::audit_safety_theorem1(*rig.system);
+  EXPECT_EQ(driver.name(), "recovery-line");
+}
+
+TEST(RecoveryLineGc, WeakerThanWangCharacterization) {
+  // The recovery-line collector keeps at least as much as Wang's (it only
+  // discards the prefix below one specific line).
+  auto run_with = [](gc::SyncGcPolicy policy) {
+    Rig rig = make_rig(6, 5);
+    rig.driver->start(3000);
+    gc::SynchronousGcDriver::Config config;
+    config.policy = policy;
+    config.period = 250;
+    config.notify_delay = 10;
+    gc::SynchronousGcDriver driver(rig.system->simulator(),
+                                   rig.system->recorder(),
+                                   rig.system->node_ptrs(), config);
+    driver.start(3000);
+    rig.system->simulator().run();
+    return rig.system->total_stored();
+  };
+  EXPECT_LE(run_with(gc::SyncGcPolicy::kWangTheorem1),
+            run_with(gc::SyncGcPolicy::kRecoveryLine));
+}
+
+TEST(CoordinatedWangGc, StaleRoundsAreDroppedAcrossRollbacks) {
+  // A round planned before a rollback must not collect checkpoints of the
+  // new lineage (indices are reused).
+  Rig rig = make_rig(7, 3);
+  gc::SynchronousGcDriver::Config config;
+  config.notify_delay = 50;  // wide window for the race
+  gc::SynchronousGcDriver driver(rig.system->simulator(),
+                                 rig.system->recorder(),
+                                 rig.system->node_ptrs(), config);
+  recovery::RecoveryManager manager(rig.system->simulator(),
+                                    rig.system->network(),
+                                    rig.system->recorder(),
+                                    rig.system->node_ptrs(), {});
+  rig.driver->start(3000);
+  rig.system->simulator().run_until(1000);
+  driver.round();  // snapshot now, apply at t=1050
+  manager.recover({0});
+  manager.recover({1});
+  rig.system->simulator().run();
+  EXPECT_GT(driver.stats().stale_rounds_dropped, 0u);
+  test::audit_safety_theorem1(*rig.system);
+}
+
+TEST(SynchronousGc, AsynchronousCollectorNeedsNoControlMessages) {
+  // The paper's core claim, stated as a test: RDT-LGC collects without any
+  // control traffic, while the synchronous baselines pay O(n) per round.
+  test::RunSpec spec;
+  spec.gc = harness::GcChoice::kRdtLgc;
+  spec.duration = 3000;
+  auto system = test::run_workload(spec);
+  EXPECT_GT(system->total_collected(), 0u);
+  // All network traffic is application messages (the workload's sends).
+  std::uint64_t app_sends = 0;
+  for (ProcessId p = 0; p < 4; ++p)
+    app_sends += system->node(p).counters().messages_sent;
+  EXPECT_EQ(system->network().stats().sent, app_sends);
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -1,0 +1,138 @@
+// Unit tests for core::UcTable — the paper's Algorithm 1 (CCB/UC semantics).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/uc_table.hpp"
+#include "util/check.hpp"
+
+namespace rdtgc::core {
+namespace {
+
+class UcTableTest : public ::testing::Test {
+ protected:
+  std::vector<CheckpointIndex> eliminated_;
+  UcTable table_{3, [this](CheckpointIndex i) { eliminated_.push_back(i); }};
+};
+
+TEST_F(UcTableTest, StartsAllNull) {
+  for (ProcessId j = 0; j < 3; ++j) EXPECT_FALSE(table_.entry(j).has_value());
+  EXPECT_EQ(table_.to_string(), "(*, *, *)");
+}
+
+TEST_F(UcTableTest, NewCcbCreatesReference) {
+  table_.new_ccb(0, 7);
+  EXPECT_EQ(table_.entry(0), std::optional<CheckpointIndex>(7));
+  EXPECT_EQ(table_.ref_count(7), 1);
+  EXPECT_EQ(table_.to_string(), "(7, *, *)");
+}
+
+TEST_F(UcTableTest, ReleaseOnNullIsNoop) {
+  table_.release(1);
+  EXPECT_TRUE(eliminated_.empty());
+}
+
+TEST_F(UcTableTest, ReleaseToZeroEliminates) {
+  table_.new_ccb(0, 4);
+  table_.release(0);
+  EXPECT_EQ(eliminated_, (std::vector<CheckpointIndex>{4}));
+  EXPECT_FALSE(table_.entry(0).has_value());
+  EXPECT_EQ(table_.ref_count(4), 0);
+}
+
+TEST_F(UcTableTest, LinkSharesCcb) {
+  table_.new_ccb(0, 4);
+  table_.link(1, 0);
+  EXPECT_EQ(table_.entry(1), std::optional<CheckpointIndex>(4));
+  EXPECT_EQ(table_.ref_count(4), 2);
+  table_.release(0);
+  EXPECT_TRUE(eliminated_.empty());  // still referenced via UC[1]
+  table_.release(1);
+  EXPECT_EQ(eliminated_, (std::vector<CheckpointIndex>{4}));
+}
+
+TEST_F(UcTableTest, Algorithm2ReceivePattern) {
+  // UC[self] references the last checkpoint; a new dependency from j does
+  // release(j); link(j, self).
+  const ProcessId self = 0, j = 2;
+  table_.new_ccb(self, 0);  // initial checkpoint
+  table_.release(j);
+  table_.link(j, self);
+  EXPECT_EQ(table_.ref_count(0), 2);
+  // Next local checkpoint: release(self); newCCB(self, 1).
+  table_.release(self);
+  table_.new_ccb(self, 1);
+  EXPECT_TRUE(eliminated_.empty());  // 0 still pinned by UC[j]
+  // Another dependency from j moves its pin to the new last checkpoint and
+  // the old checkpoint finally dies.
+  table_.release(j);
+  EXPECT_EQ(eliminated_, (std::vector<CheckpointIndex>{0}));
+  table_.link(j, self);
+  EXPECT_EQ(table_.ref_count(1), 2);
+}
+
+TEST_F(UcTableTest, LinkRequiresSetSourceAndNullTarget) {
+  EXPECT_THROW(table_.link(1, 0), util::ContractViolation);  // source Null
+  table_.new_ccb(0, 3);
+  table_.link(1, 0);
+  EXPECT_THROW(table_.link(1, 0), util::ContractViolation);  // target set
+}
+
+TEST_F(UcTableTest, NewCcbRequiresNullSlotAndFreshIndex) {
+  table_.new_ccb(0, 3);
+  EXPECT_THROW(table_.new_ccb(0, 4), util::ContractViolation);  // slot taken
+  EXPECT_THROW(table_.new_ccb(1, 3), util::ContractViolation);  // CCB exists
+}
+
+TEST_F(UcTableTest, TrackedCheckpointsSortedDistinct) {
+  table_.new_ccb(0, 5);
+  table_.new_ccb(1, 2);
+  table_.link(2, 0);
+  EXPECT_EQ(table_.tracked_checkpoints(),
+            (std::vector<CheckpointIndex>{2, 5}));
+}
+
+TEST_F(UcTableTest, RollbackRebuildFlow) {
+  // Algorithm 3: clear, register CCBs at zero, reference survivors, then
+  // drop what nobody pinned.
+  table_.new_ccb(0, 0);
+  table_.link(1, 0);
+  table_.clear();
+  EXPECT_TRUE(eliminated_.empty());  // clear() never eliminates
+  table_.add_ccb(0);
+  table_.add_ccb(1);
+  table_.add_ccb(2);
+  table_.reference(0, 2);
+  table_.reference(1, 0);
+  table_.drop_zero_count();
+  EXPECT_EQ(eliminated_, (std::vector<CheckpointIndex>{1}));
+  EXPECT_EQ(table_.ref_count(0), 1);
+  EXPECT_EQ(table_.ref_count(2), 1);
+}
+
+TEST_F(UcTableTest, ReferenceRequiresExistingCcb) {
+  EXPECT_THROW(table_.reference(0, 9), util::ContractViolation);
+}
+
+TEST_F(UcTableTest, AddCcbRejectsDuplicates) {
+  table_.add_ccb(1);
+  EXPECT_THROW(table_.add_ccb(1), util::ContractViolation);
+}
+
+TEST_F(UcTableTest, ToStringMatchesFigure4Style) {
+  table_.new_ccb(0, 0);
+  table_.link(1, 0);
+  EXPECT_EQ(table_.to_string(), "(0, 0, *)");
+}
+
+TEST(UcTable, SingleProcess) {
+  std::vector<CheckpointIndex> eliminated;
+  UcTable table(1, [&](CheckpointIndex i) { eliminated.push_back(i); });
+  table.new_ccb(0, 0);
+  table.release(0);
+  table.new_ccb(0, 1);
+  EXPECT_EQ(eliminated, (std::vector<CheckpointIndex>{0}));
+}
+
+}  // namespace
+}  // namespace rdtgc::core

@@ -1,0 +1,226 @@
+// Zigzag analysis tests: the exact Figure 1 and Figure 2 patterns, path
+// classification (Definition 3), useless checkpoints, the RDT oracle, and
+// the R-graph recovery line against brute force.
+#include <gtest/gtest.h>
+
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/figures.hpp"
+#include "helpers.hpp"
+
+namespace rdtgc {
+namespace {
+
+using harness::figures::figure1;
+using harness::figures::figure2;
+
+std::vector<sim::MessageId> ids(const harness::Scenario& scenario,
+                                std::initializer_list<const char*> labels) {
+  std::vector<sim::MessageId> out;
+  for (const char* label : labels) out.push_back(scenario.message_id(label));
+  return out;
+}
+
+TEST(Figure1, PathClassificationMatchesPaper) {
+  auto scenario = figure1(true);
+  const auto& recorder = scenario->recorder();
+  // [m1, m2] and [m1, m4] are C-paths (paper §2.2).
+  EXPECT_TRUE(ccp::is_causal_sequence(recorder, ids(*scenario, {"m1", "m2"})));
+  EXPECT_TRUE(ccp::is_causal_sequence(recorder, ids(*scenario, {"m1", "m4"})));
+  // [m5, m4] is a valid zigzag path but NOT causal: m4 is sent before m5 is
+  // received, in the same interval of p2.
+  EXPECT_TRUE(ccp::is_zigzag_sequence(recorder, ids(*scenario, {"m5", "m4"}),
+                                      0, 1, 2, 2));
+  EXPECT_FALSE(ccp::is_causal_sequence(recorder, ids(*scenario, {"m5", "m4"})));
+}
+
+TEST(Figure1, ZigzagRelationHoldsFromS11ToS32) {
+  auto scenario = figure1(true);
+  const ccp::ZigzagAnalysis zigzag(scenario->recorder());
+  // s_1^1 ~> s_3^2 (code: c_0^1 ~> c_2^2), realized by [m5, m4].
+  EXPECT_TRUE(zigzag.zigzag(0, 1, 2, 2));
+}
+
+TEST(Figure1, PatternIsRdtWithM3) {
+  auto scenario = figure1(true);
+  test::audit_rdt(scenario->recorder());
+}
+
+TEST(Figure1, WithoutM3RdtBreaksExactlyAtS11S32) {
+  auto scenario = figure1(false);
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  const auto violation = ccp::check_rdt(recorder, causal, zigzag);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->a, 0);
+  EXPECT_EQ(violation->alpha, 1);
+  EXPECT_EQ(violation->b, 2);
+  EXPECT_EQ(violation->beta, 2);
+}
+
+TEST(Figure1, NoUselessCheckpoints) {
+  auto scenario = figure1(true);
+  const ccp::ZigzagAnalysis zigzag(scenario->recorder());
+  EXPECT_TRUE(zigzag.useless_stable_checkpoints().empty());
+}
+
+TEST(Figure1, ZigzagIsNotSymmetricHere) {
+  auto scenario = figure1(true);
+  const ccp::ZigzagAnalysis zigzag(scenario->recorder());
+  EXPECT_FALSE(zigzag.zigzag(2, 2, 0, 1));
+}
+
+TEST(Figure2, EveryNonInitialCheckpointIsUseless) {
+  auto scenario = figure2(ckpt::ProtocolKind::kUncoordinated);
+  const auto& recorder = scenario->recorder();
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  // Paper: [m2, m1] is a Z-path connecting s_1^1 to itself, etc.
+  EXPECT_TRUE(ccp::is_zigzag_sequence(recorder, ids(*scenario, {"m2", "m1"}),
+                                      0, 1, 0, 1));
+  EXPECT_FALSE(ccp::is_causal_sequence(recorder, ids(*scenario, {"m2", "m1"})));
+  const auto useless = zigzag.useless_stable_checkpoints();
+  const std::vector<std::pair<ProcessId, CheckpointIndex>> expected = {
+      {0, 1}, {0, 2}, {1, 1}};
+  EXPECT_EQ(useless, expected);
+}
+
+TEST(Figure2, DominoEffectRollsEverythingBack) {
+  auto scenario = figure2(ckpt::ProtocolKind::kUncoordinated);
+  const ccp::ZigzagAnalysis zigzag(scenario->recorder());
+  for (const std::vector<bool>& faulty :
+       {std::vector<bool>{true, false}, std::vector<bool>{false, true}}) {
+    const auto line = zigzag.recovery_line(faulty);
+    EXPECT_EQ(line, (std::vector<CheckpointIndex>{0, 0}))
+        << "a single failure must force a rollback to the initial state";
+  }
+}
+
+TEST(Figure2, DeeperPingPongStillDominoes) {
+  auto scenario = figure2(ckpt::ProtocolKind::kUncoordinated, 10);
+  const ccp::ZigzagAnalysis zigzag(scenario->recorder());
+  const auto line = zigzag.recovery_line({true, false});
+  EXPECT_EQ(line, (std::vector<CheckpointIndex>{0, 0}));
+}
+
+TEST(Figure2, FdasBreaksTheZCycles) {
+  auto scenario = figure2(ckpt::ProtocolKind::kFdas);
+  const auto& recorder = scenario->recorder();
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  EXPECT_TRUE(zigzag.useless_stable_checkpoints().empty());
+  test::audit_rdt(recorder);
+  // Forced checkpoints were actually taken.
+  EXPECT_GT(scenario->node(0).counters().forced_checkpoints +
+                scenario->node(1).counters().forced_checkpoints,
+            0u);
+  // And recovery no longer dominoes to the initial state.
+  const auto line = zigzag.recovery_line({true, false});
+  EXPECT_GT(line[0] + line[1], 0);
+}
+
+TEST(Figure2, MrsBreaksTheZCyclesToo) {
+  auto scenario = figure2(ckpt::ProtocolKind::kMrs);
+  const ccp::ZigzagAnalysis zigzag(scenario->recorder());
+  EXPECT_TRUE(zigzag.useless_stable_checkpoints().empty());
+  test::audit_rdt(scenario->recorder());
+}
+
+TEST(ZigzagAnalysis, CausalPathsAreZigzagPaths) {
+  // Every causal chain is in particular a zigzag relation.
+  auto scenario = figure1(true);
+  const auto& recorder = scenario->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  for (ProcessId a = 0; a < 3; ++a)
+    for (CheckpointIndex alpha = 0; alpha <= recorder.last_stable(a); ++alpha)
+      for (ProcessId b = 0; b < 3; ++b) {
+        if (a == b) continue;
+        for (CheckpointIndex beta = 0; beta <= recorder.last_stable(b) + 1;
+             ++beta) {
+          if (causal.precedes(a, alpha, b, beta)) {
+            EXPECT_TRUE(zigzag.zigzag(a, alpha, b, beta))
+                << "causal c_" << a << "^" << alpha << " -> c_" << b << "^"
+                << beta << " must imply zigzag";
+          }
+        }
+      }
+}
+
+TEST(ZigzagAnalysis, VolatileSourceNeverZigzags) {
+  auto scenario = figure1(true);
+  const auto& recorder = scenario->recorder();
+  const ccp::ZigzagAnalysis zigzag(recorder);
+  for (ProcessId a = 0; a < 3; ++a) {
+    const CheckpointIndex va = recorder.last_stable(a) + 1;
+    for (ProcessId b = 0; b < 3; ++b)
+      for (CheckpointIndex beta = 0; beta <= recorder.last_stable(b) + 1;
+           ++beta)
+        EXPECT_FALSE(zigzag.zigzag(a, va, b, beta));
+  }
+}
+
+// The R-graph recovery line must be the componentwise-maximum consistent
+// global checkpoint (faulty processes capped at their last stable one) —
+// cross-checked against exhaustive enumeration on small random runs.
+using LineParam = std::tuple<std::uint64_t, std::size_t>;
+
+std::string line_param_name(const ::testing::TestParamInfo<LineParam>& info) {
+  return "s" + std::to_string(std::get<0>(info.param)) + "_n" +
+         std::to_string(std::get<1>(info.param));
+}
+
+class RecoveryLineBruteForce : public ::testing::TestWithParam<LineParam> {};
+
+TEST_P(RecoveryLineBruteForce, MatchesEnumeration) {
+  const auto [seed, n] = GetParam();
+  test::RunSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  spec.duration = 300;  // keep histories small: enumeration is exponential
+  spec.gc = harness::GcChoice::kNone;
+  spec.protocol = ckpt::ProtocolKind::kUncoordinated;  // also non-RDT CCPs
+  auto system = test::run_workload(spec);
+  const auto& recorder = system->recorder();
+  const ccp::CausalGraph causal(recorder);
+  const ccp::ZigzagAnalysis zigzag(recorder);
+
+  for (std::size_t f = 0; f < n; ++f) {
+    std::vector<bool> faulty(n, false);
+    faulty[f] = true;
+    const auto line = zigzag.recovery_line(faulty);
+
+    std::vector<CheckpointIndex> caps(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto pid = static_cast<ProcessId>(p);
+      caps[p] = recorder.last_stable(pid) + (faulty[p] ? 0 : 1);
+    }
+    // Anchor the enumeration on the faulty process's candidates by trying
+    // every choice for it (TargetSet requires a non-empty anchor).
+    std::optional<std::vector<CheckpointIndex>> best;
+    for (CheckpointIndex g = 0; g <= caps[f]; ++g) {
+      ccp::TargetSet s{{static_cast<ProcessId>(f), g}};
+      auto cand =
+          ccp::brute_force_extreme_consistent(recorder, causal, s, caps, true);
+      if (!cand) continue;
+      if (!best) {
+        best = cand;
+      } else {
+        for (std::size_t p = 0; p < n; ++p)
+          (*best)[p] = std::max((*best)[p], (*cand)[p]);
+      }
+    }
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(line, *best) << "faulty = p" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryLineBruteForce,
+    ::testing::Combine(::testing::Values(std::uint64_t{3}, std::uint64_t{17},
+                                         std::uint64_t{23}),
+                       ::testing::Values(std::size_t{2}, std::size_t{3})),
+    line_param_name);
+
+}  // namespace
+}  // namespace rdtgc
