@@ -178,4 +178,4 @@ BENCHMARK(BM_Theorem1Characterization);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() is supplied by benchmark::benchmark_main (see bench/CMakeLists.txt).

@@ -1,0 +1,20 @@
+# Provide benchmark::benchmark / benchmark::benchmark_main for the opt-in
+# micro-benchmark target (RDTGC_BUILD_BENCH=ON).  Same policy as GTest:
+# prefer the system package, fall back to a pinned FetchContent.
+function(rdtgc_provide_benchmark)
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    message(STATUS "rdtgc: using system Google Benchmark")
+    return()
+  endif()
+  message(STATUS "rdtgc: system Google Benchmark not found - fetching v1.8.3")
+  include(FetchContent)
+  FetchContent_Declare(
+    benchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce
+  )
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(benchmark)
+endfunction()

@@ -1,0 +1,26 @@
+# Provide GTest::gtest / GTest::gtest_main.
+#
+# Resolution order:
+#   1. the system package (find_package), so offline tier-1 runs never touch
+#      the network;
+#   2. FetchContent of the pinned upstream release otherwise.
+function(rdtgc_provide_gtest)
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    message(STATUS "rdtgc: using system GTest")
+    return()
+  endif()
+  message(STATUS "rdtgc: system GTest not found - fetching googletest v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  )
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endfunction()

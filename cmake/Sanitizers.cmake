@@ -1,0 +1,13 @@
+# Address + UndefinedBehavior sanitizer toggles for the whole tree.
+# Applied globally (not per-target) so the GTest/benchmark dependencies are
+# instrumented consistently with the library — mixing instrumented and
+# uninstrumented archives produces false positives on container overflow.
+function(rdtgc_enable_sanitizers)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(WARNING "RDTGC_SANITIZE requested but ${CMAKE_CXX_COMPILER_ID} "
+                    "is not a known sanitizer-capable compiler; ignoring.")
+    return()
+  endif()
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endfunction()

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate the committed micro-benchmark baseline (BENCH_micro.json).
+#
+# Builds the opt-in tabd_micro target (Release + RDTGC_BUILD_BENCH=ON via the
+# "bench" preset) and runs it with JSON output.  Compare a fresh run against
+# the committed baseline to track the perf trajectory PR over PR.
+#
+# Note: the JSON's "library_build_type" field describes how the *benchmark
+# library* itself was compiled (the distro package reports "debug"); rdtgc
+# code is built Release by the bench preset regardless.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out="${1:-${repo_root}/BENCH_micro.json}"
+
+cmake --preset bench -S "${repo_root}"
+cmake --build "${repo_root}/out/bench" --target tabd_micro -j"$(nproc)"
+"${repo_root}/out/bench/bench/tabd_micro" \
+  --benchmark_format=json --benchmark_min_time=0.05 > "${out}"
+echo "wrote ${out}"

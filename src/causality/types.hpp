@@ -9,6 +9,22 @@
 
 #include <cstdint>
 
+// C++20 is a hard requirement (e.g. the defaulted operator== on
+// causality::DependencyVector).  This header is at the root of every include
+// chain, so a C++17 toolchain fails here with a readable message before the
+// compiler's "only available with -std=c++20" deep in a later header.
+// MSVC reports 199711L in __cplusplus unless /Zc:__cplusplus is passed;
+// _MSVC_LANG always carries the real standard level.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "rdtgc requires C++20: compile with /std:c++20 (set "
+              "CMAKE_CXX_STANDARD 20, as the top-level CMakeLists.txt does)");
+#else
+static_assert(__cplusplus >= 202002L,
+              "rdtgc requires C++20: compile with -std=c++20 (set "
+              "CMAKE_CXX_STANDARD 20, as the top-level CMakeLists.txt does)");
+#endif
+
 namespace rdtgc {
 
 /// Process identifier, 0-based (the paper is 1-based; the mapping is p_{id+1}).

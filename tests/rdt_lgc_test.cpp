@@ -6,6 +6,9 @@
 #include <tuple>
 
 #include "ccp/analysis.hpp"
+#include "ckpt/checkpoint_store.hpp"
+#include "ckpt/garbage_collector.hpp"
+#include "core/rdt_lgc.hpp"
 #include "harness/scenario.hpp"
 #include "helpers.hpp"
 #include "util/check.hpp"
@@ -225,6 +228,33 @@ TEST(RdtLgc, MessageLossDelaysButNeverBreaksCollection) {
   test::audit_exact_corollary1(*system);
   test::audit_safety_theorem1(*system);
   test::audit_bounds(*system);
+}
+
+// A collector that does not override on_peer_recovery must inherit the
+// base-class no-op: the recovery session may notify every surviving process,
+// including ones whose policy ignores peer recovery entirely.
+TEST(GarbageCollectorHooks, BasePeerRecoveryIsANoOp) {
+  ckpt::NoGc gc;
+  ckpt::CheckpointStore store(0);
+  gc.initialize(0, 2, store);
+  const std::vector<IntervalIndex> li{1, 1};
+  const causality::DependencyVector dv(2);
+  EXPECT_NO_THROW(gc.on_peer_recovery(li, dv));
+}
+
+TEST(RdtLgc, InitializeRejectsDoubleInitialization) {
+  core::RdtLgc lgc;
+  ckpt::CheckpointStore store(0);
+  lgc.initialize(0, 2, store);
+  EXPECT_THROW(lgc.initialize(0, 2, store), util::ContractViolation);
+}
+
+TEST(RdtLgc, InitializeRejectsOutOfRangeProcessId) {
+  ckpt::CheckpointStore store(0);
+  core::RdtLgc negative;
+  EXPECT_THROW(negative.initialize(-1, 2, store), util::ContractViolation);
+  core::RdtLgc beyond_count;
+  EXPECT_THROW(beyond_count.initialize(2, 2, store), util::ContractViolation);
 }
 
 }  // namespace
