@@ -32,6 +32,22 @@ void BM_DvMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_DvMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_DvMergeInto(benchmark::State& state) {
+  // The zero-allocation variant: same worst case (every entry raised), the
+  // changed set written into a reusable scratch buffer.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  causality::DependencyVector mine(n), msg(n);
+  for (std::size_t j = 0; j < n; ++j) msg.at(static_cast<ProcessId>(j)) = 1;
+  causality::ChangedSet changed(n);
+  causality::DependencyVector dv = mine;
+  for (auto _ : state) {
+    dv = mine;  // same-size copy assignment: reuses the buffer
+    dv.merge_into(msg, changed);
+    benchmark::DoNotOptimize(changed.size());
+  }
+}
+BENCHMARK(BM_DvMergeInto)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_UcTableReleaseLink(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   core::UcTable table(n, [](CheckpointIndex) {});
@@ -46,7 +62,32 @@ void BM_UcTableReleaseLink(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n - 1));
 }
-BENCHMARK(BM_UcTableReleaseLink)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_UcTableReleaseLink)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_UcTableRebind(benchmark::State& state) {
+  // The same n-1 peer rebinding as BM_UcTableReleaseLink, coalesced into one
+  // rebind_to pass (single ±k CCB refcount adjustment).  The self CCB is
+  // swapped every iteration so each rebind really moves every peer (without
+  // the swap, rebind_to's already-bound fast path would measure a no-op);
+  // the swap's release+new_ccb cost is charged to the batched side.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::UcTable table(n, [](CheckpointIndex) {});
+  table.new_ccb(0, 0);
+  std::vector<ProcessId> peers;
+  for (ProcessId j = 1; j < static_cast<ProcessId>(n); ++j) peers.push_back(j);
+  table.rebind_to({peers.data(), peers.size()}, 0);
+  CheckpointIndex next = 1;
+  for (auto _ : state) {
+    table.release(0);
+    table.new_ccb(0, next);  // the old CCB dies when the last peer leaves it
+    next = next == 0 ? 1 : 0;
+    table.rebind_to({peers.data(), peers.size()}, 0);
+    benchmark::DoNotOptimize(&table);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_UcTableRebind)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_CheckpointPath(benchmark::State& state) {
   // Full middleware checkpoint operation (store + GC hook + DV increment).
@@ -59,7 +100,7 @@ void BM_CheckpointPath(benchmark::State& state) {
   for (auto _ : state) system.node(0).take_basic_checkpoint();
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CheckpointPath)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_CheckpointPath)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_ReceivePath(benchmark::State& state) {
   // Checkpoint at the sender + send + delivery at the receiver: the
@@ -78,7 +119,51 @@ void BM_ReceivePath(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ReceivePath)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_ReceivePath)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Worst-case receive at the GC layer — every delivery raises all n-1 peer
+// entries right after a local checkpoint, so every UC entry rebinds and the
+// abandoned checkpoint is eliminated through the store.  The Batched/PerPeer
+// pair makes the old-vs-new delta of the coalesced entry point visible.
+void BM_ReceiveBatch(benchmark::State& state, bool batched) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::CheckpointStore store(0);
+  core::RdtLgc lgc;
+  lgc.initialize(0, n, store);
+  causality::DependencyVector dv(n), msg(n);
+  causality::ChangedSet changed(n);
+  CheckpointIndex index = 0;
+  IntervalIndex tick = 0;
+  store.put(ckpt::StoredCheckpoint{index, dv, 0, 1});
+  lgc.on_checkpoint_stored(index);
+  dv.at(0) += 1;
+  for (auto _ : state) {
+    ++index;
+    store.put(ckpt::StoredCheckpoint{index, dv, 0, 1});
+    lgc.on_checkpoint_stored(index);
+    dv.at(0) += 1;
+    ++tick;
+    for (ProcessId j = 1; j < static_cast<ProcessId>(n); ++j)
+      msg.at(j) = tick;
+    if (batched) {
+      dv.merge_into(msg, changed);
+      lgc.on_new_dependencies(changed.span());
+    } else {
+      const std::vector<ProcessId> per_peer = dv.merge(msg);
+      for (const ProcessId j : per_peer) lgc.on_new_dependency(j);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n - 1));
+}
+void BM_ReceivePathBatched(benchmark::State& state) {
+  BM_ReceiveBatch(state, true);
+}
+void BM_ReceivePathPerPeer(benchmark::State& state) {
+  BM_ReceiveBatch(state, false);
+}
+BENCHMARK(BM_ReceivePathBatched)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ReceivePathPerPeer)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void rollback_setup(std::size_t n, ckpt::CheckpointStore& store,
                     core::RdtLgc& lgc) {

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Diff a fresh tabd_micro JSON run against the committed BENCH_micro.json.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--threshold PCT]
+
+Prints a per-benchmark table for the tracked families and flags entries whose
+cpu_time regressed by more than the threshold (default 20%).  Always exits 0:
+this is a trend signal for humans (and CI annotations), not a gate — a loaded
+CI runner must not fail the build.  New benchmarks (no baseline entry) and
+removed ones are reported informationally.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Families tracked for regressions (the hot paths this repo optimizes for).
+TRACKED = re.compile(r"^(BM_DvMerge|BM_ReceivePath|BM_RollbackBinary)\b")
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        b["name"]: b["cpu_time"]
+        for b in data.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    regressions = []
+    print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
+    for name in sorted(fresh):
+        if not TRACKED.search(name):
+            continue
+        if name not in baseline:
+            print(f"{name:40s} {'(new)':>12s} {fresh[name]:12.1f}")
+            continue
+        delta = (fresh[name] / baseline[name] - 1.0) * 100.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:40s} {baseline[name]:12.1f} {fresh[name]:12.1f} "
+              f"{delta:+7.1f}%{flag}")
+    for name in sorted(set(baseline) - set(fresh)):
+        if TRACKED.search(name):
+            print(f"{name:40s} {baseline[name]:12.1f} {'(removed)':>12s}")
+
+    if regressions:
+        print()
+        for name, delta in regressions:
+            # GitHub Actions annotation; harmless noise elsewhere.
+            print(f"::warning title=bench regression::{name} is {delta:+.1f}% "
+                  f"vs BENCH_micro.json (threshold {args.threshold:.0f}%)")
+        print(f"{len(regressions)} tracked benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% — investigate before the baseline drifts.")
+    else:
+        print("\nno tracked regressions above "
+              f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
+              "BM_RollbackBinary)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

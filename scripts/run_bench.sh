@@ -4,17 +4,42 @@
 # Builds the opt-in tabd_micro target (Release + RDTGC_BUILD_BENCH=ON via the
 # "bench" preset) and runs it with JSON output.  Compare a fresh run against
 # the committed baseline to track the perf trajectory PR over PR.
-#
-# Note: the JSON's "library_build_type" field describes how the *benchmark
-# library* itself was compiled (the distro package reports "debug"); rdtgc
-# code is built Release by the bench preset regardless.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 out="${1:-${repo_root}/BENCH_micro.json}"
+build_dir="${repo_root}/out/bench"
 
 cmake --preset bench -S "${repo_root}"
-cmake --build "${repo_root}/out/bench" --target tabd_micro -j"$(nproc)"
-"${repo_root}/out/bench/bench/tabd_micro" \
+
+# A baseline recorded from a non-Release tree is meaningless for comparisons.
+# The bench preset pins CMAKE_BUILD_TYPE=Release on every configure, so this
+# check is an assertion against preset/cache drift (someone editing
+# CMakePresets.json or pointing the script at a repurposed build dir); it
+# refuses rather than record a misleading baseline
+# (RDTGC_BENCH_ALLOW_NONRELEASE=1 overrides for scratch runs).
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${build_dir}/CMakeCache.txt")"
+if [[ "${build_type}" != "Release" && "${RDTGC_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+  echo "error: bench tree at ${build_dir} is CMAKE_BUILD_TYPE='${build_type}'," >&2
+  echo "       not Release; refusing to record a baseline (set" >&2
+  echo "       RDTGC_BENCH_ALLOW_NONRELEASE=1 to override)." >&2
+  exit 1
+fi
+
+cmake --build "${build_dir}" --target tabd_micro -j"$(nproc)"
+"${build_dir}/bench/tabd_micro" \
   --benchmark_format=json --benchmark_min_time=0.05 > "${out}"
-echo "wrote ${out}"
+
+# The JSON's "library_build_type" describes how the *benchmark library* was
+# compiled; distro packages often report "debug" even though rdtgc itself is
+# Release.  Surface it so nobody mistakes a debug-library timing context for
+# a debug-rdtgc one (rdtgc's build type is guarded above).
+library_build_type="$(sed -n 's/.*"library_build_type": *"\([^"]*\)".*/\1/p' "${out}")"
+if [[ "${library_build_type}" != "release" ]]; then
+  echo "warning: Google Benchmark library reports build type" >&2
+  echo "         '${library_build_type}' (system package?).  rdtgc code is" >&2
+  echo "         Release; timings are valid but the harness itself is" >&2
+  echo "         unoptimized — compare only against baselines recorded with" >&2
+  echo "         the same library." >&2
+fi
+echo "wrote ${out} (rdtgc build type: ${build_type})"

@@ -14,12 +14,16 @@ IntervalIndex& DependencyVector::at(ProcessId p) {
   return entries_[static_cast<std::size_t>(p)];
 }
 
+std::size_t DependencyVector::first_new_index(const DependencyVector& m) const {
+  for (std::size_t j = 0; j < entries_.size(); ++j)
+    if (m.entries_[j] > entries_[j]) return j;
+  return entries_.size();
+}
+
 bool DependencyVector::has_new_dependency_from(
     const DependencyVector& m) const {
   RDTGC_EXPECTS(m.size() == size());
-  for (std::size_t j = 0; j < entries_.size(); ++j)
-    if (m.entries_[j] > entries_[j]) return true;
-  return false;
+  return first_new_index(m) < entries_.size();
 }
 
 std::vector<ProcessId> DependencyVector::new_dependencies_from(
@@ -34,13 +38,33 @@ std::vector<ProcessId> DependencyVector::new_dependencies_from(
 std::vector<ProcessId> DependencyVector::merge(const DependencyVector& m) {
   RDTGC_EXPECTS(m.size() == size());
   std::vector<ProcessId> changed;
-  for (std::size_t j = 0; j < entries_.size(); ++j) {
+  // No entry before the first raised one can change, so one upper-bound
+  // reserve makes the single allocation (the geometric-growth reallocations
+  // otherwise dominate large merges) and the write loop skips the prefix.
+  const std::size_t start = first_new_index(m);
+  if (start == entries_.size()) return changed;
+  changed.reserve(entries_.size() - start);
+  for (std::size_t j = start; j < entries_.size(); ++j) {
     if (m.entries_[j] > entries_[j]) {
       entries_[j] = m.entries_[j];
       changed.push_back(static_cast<ProcessId>(j));
     }
   }
   return changed;
+}
+
+void DependencyVector::merge_into(const DependencyVector& m,
+                                  ChangedSet& changed) {
+  RDTGC_EXPECTS(m.size() == size());
+  changed.clear();
+  // Fast path: scan without writing until the first raised entry, so the
+  // common nothing-new delivery touches no cache line for writing.
+  for (std::size_t j = first_new_index(m); j < entries_.size(); ++j) {
+    if (m.entries_[j] > entries_[j]) {
+      entries_[j] = m.entries_[j];
+      changed.ids_.push_back(static_cast<ProcessId>(j));
+    }
+  }
 }
 
 std::string DependencyVector::to_string() const {

@@ -12,12 +12,47 @@
 //  * Equation 3:  last_k_i(j) = DV(v_i)[j] − 1
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "causality/types.hpp"
 
 namespace rdtgc::causality {
+
+/// Reusable output buffer for DependencyVector::merge_into.
+///
+/// Semantically the set of process ids whose entry a merge raised, in
+/// increasing id order.  The backing storage is retained across uses, so
+/// after one reserve() (or one warm-up merge of full size) refilling it
+/// never touches the heap — the property the allocation-free receive path
+/// is built on.
+class ChangedSet {
+ public:
+  ChangedSet() = default;
+  /// Pre-sized for vectors of `n` processes (a merge changes at most n ids).
+  explicit ChangedSet(std::size_t n) { ids_.reserve(n); }
+
+  void reserve(std::size_t n) { ids_.reserve(n); }
+  void clear() { ids_.clear(); }
+
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+  std::size_t capacity() const { return ids_.capacity(); }
+  ProcessId operator[](std::size_t k) const { return ids_[k]; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  /// Non-owning view for the batched GC entry points.
+  std::span<const ProcessId> span() const { return {ids_.data(), ids_.size()}; }
+
+  /// Copy out as a plain vector (test convenience; allocates).
+  std::vector<ProcessId> to_vector() const { return ids_; }
+
+ private:
+  friend class DependencyVector;
+  std::vector<ProcessId> ids_;
+};
 
 /// A size-n transitive dependency vector.
 class DependencyVector {
@@ -36,6 +71,7 @@ class DependencyVector {
 
   /// True iff message timestamp `m` carries causal information about some
   /// process that this vector has not seen (∃j: m[j] > this[j]).
+  /// Allocation-free.
   bool has_new_dependency_from(const DependencyVector& m) const;
 
   /// The set of processes j with m[j] > this[j], in increasing id order.
@@ -43,7 +79,14 @@ class DependencyVector {
 
   /// Component-wise max update from a message timestamp.  Returns the entries
   /// that changed, in increasing id order (the paper's "new causal info").
+  /// Allocates the result exactly once; the receive hot path uses merge_into.
   std::vector<ProcessId> merge(const DependencyVector& m);
+
+  /// Component-wise max update writing the changed ids into the caller-owned
+  /// reusable `changed` buffer (cleared first).  Performs no heap allocation
+  /// once `changed` has capacity >= size(); behaviour is otherwise identical
+  /// to merge().
+  void merge_into(const DependencyVector& m, ChangedSet& changed);
 
   /// Equation 2: does checkpoint c_a^alpha causally precede the checkpoint
   /// whose stored dependency vector is *this?
@@ -63,6 +106,9 @@ class DependencyVector {
   std::string to_string() const;
 
  private:
+  /// Position of the first entry `m` would raise, or size() if none.
+  std::size_t first_new_index(const DependencyVector& m) const;
+
   std::vector<IntervalIndex> entries_;
 };
 

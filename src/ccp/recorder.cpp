@@ -7,6 +7,7 @@ namespace rdtgc::ccp {
 CcpRecorder::CcpRecorder(std::size_t n)
     : checkpoints_(n),
       volatile_dv_(n, causality::DependencyVector(n)),
+      attached_dv_(n, nullptr),
       next_serial_(n, 1) {
   RDTGC_EXPECTS(n >= 1);
 }
@@ -24,7 +25,9 @@ void CcpRecorder::record_checkpoint(ProcessId p, CheckpointIndex idx,
   auto& list = checkpoints_[static_cast<std::size_t>(p)];
   RDTGC_EXPECTS(idx == static_cast<CheckpointIndex>(list.size()));
   RDTGC_EXPECTS(dv[p] == idx);
-  CheckpointInfo info;
+  // Emplace and fill in place: this runs once per checkpoint on the hot
+  // middleware path, and the DV copy below is its only allocation.
+  CheckpointInfo& info = list.emplace_back();
   info.process = p;
   info.index = idx;
   info.dv = dv;
@@ -32,7 +35,6 @@ void CcpRecorder::record_checkpoint(ProcessId p, CheckpointIndex idx,
   info.serial = next_serial_[static_cast<std::size_t>(p)]++;
   info.gseq = next_gseq_++;
   info.time = t;
-  list.push_back(std::move(info));
   ++stats_.checkpoints_recorded;
 }
 
@@ -66,7 +68,16 @@ void CcpRecorder::set_volatile_dv(ProcessId p,
                                   const causality::DependencyVector& dv) {
   RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < volatile_dv_.size());
   RDTGC_EXPECTS(dv.size() == volatile_dv_.size());
+  RDTGC_EXPECTS(attached_dv_[static_cast<std::size_t>(p)] == nullptr);
   volatile_dv_[static_cast<std::size_t>(p)] = dv;
+}
+
+void CcpRecorder::attach_volatile_dv(ProcessId p,
+                                     const causality::DependencyVector* dv) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < attached_dv_.size());
+  RDTGC_EXPECTS(dv != nullptr && dv->size() == attached_dv_.size());
+  RDTGC_EXPECTS(attached_dv_[static_cast<std::size_t>(p)] == nullptr);
+  attached_dv_[static_cast<std::size_t>(p)] = dv;
 }
 
 void CcpRecorder::record_rollback(ProcessId p, CheckpointIndex ri, SimTime t) {
@@ -112,6 +123,8 @@ CheckpointIndex CcpRecorder::last_stable(ProcessId p) const {
 const causality::DependencyVector& CcpRecorder::volatile_dv(
     ProcessId p) const {
   RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < volatile_dv_.size());
+  if (const auto* live = attached_dv_[static_cast<std::size_t>(p)])
+    return *live;
   return volatile_dv_[static_cast<std::size_t>(p)];
 }
 

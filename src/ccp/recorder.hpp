@@ -85,8 +85,15 @@ class CcpRecorder {
                       SimTime t);
 
   /// Keep the volatile dependency vector DV(v_p) current (paper Eq. 3 uses
-  /// it); called by the node after every DV change.
+  /// it); called after every DV change by drivers that hold no stable DV.
+  /// Rejected once attach_volatile_dv() has registered a live view for p.
   void set_volatile_dv(ProcessId p, const causality::DependencyVector& dv);
+
+  /// Zero-copy alternative to set_volatile_dv: register the process's live
+  /// dependency vector once (the middleware's own DV, whose address is
+  /// stable for the node's lifetime).  volatile_dv(p) then reads through the
+  /// pointer, removing a size-n copy from every event on the hot path.
+  void attach_volatile_dv(ProcessId p, const causality::DependencyVector* dv);
 
   /// Record that p rolled back to checkpoint `ri`: checkpoints with index
   /// > ri die, as do message endpoints after c_p^ri.
@@ -129,6 +136,8 @@ class CcpRecorder {
   std::uint64_t next_gseq_ = 1;
   std::vector<std::vector<CheckpointInfo>> checkpoints_;  // [p] live, by index
   std::vector<causality::DependencyVector> volatile_dv_;  // [p]
+  /// Live DV views registered by attach_volatile_dv (null = use the copy).
+  std::vector<const causality::DependencyVector*> attached_dv_;  // [p]
   std::vector<std::uint64_t> next_serial_;                // [p]
   std::vector<MessageInfo> messages_;                     // by id-1
   Stats stats_;

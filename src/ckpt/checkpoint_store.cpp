@@ -1,60 +1,74 @@
 #include "ckpt/checkpoint_store.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace rdtgc::ckpt {
 
+std::size_t CheckpointStore::position(CheckpointIndex index) const {
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
+  if (it == indices_.end() || *it != index) return indices_.size();
+  return static_cast<std::size_t>(it - indices_.begin());
+}
+
 void CheckpointStore::put(StoredCheckpoint checkpoint) {
   RDTGC_EXPECTS(checkpoint.index >= 0);
-  RDTGC_EXPECTS(stored_.empty() || checkpoint.index > stored_.rbegin()->first);
+  RDTGC_EXPECTS(indices_.empty() || checkpoint.index > indices_.back());
   bytes_ += checkpoint.bytes;
   ++stats_.stored;
-  stored_.emplace(checkpoint.index, std::move(checkpoint));
-  stats_.peak_count = std::max(stats_.peak_count, stored_.size());
+  indices_.push_back(checkpoint.index);
+  checkpoints_.push_back(std::move(checkpoint));
+  stats_.peak_count = std::max(stats_.peak_count, indices_.size());
   stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
 }
 
 bool CheckpointStore::contains(CheckpointIndex index) const {
-  return stored_.count(index) != 0;
+  return position(index) != indices_.size();
 }
 
 const StoredCheckpoint& CheckpointStore::get(CheckpointIndex index) const {
-  auto it = stored_.find(index);
-  RDTGC_EXPECTS(it != stored_.end());
-  return it->second;
+  const std::size_t pos = position(index);
+  RDTGC_EXPECTS(pos != indices_.size());
+  return checkpoints_[pos];
+}
+
+void CheckpointStore::put(CheckpointIndex index,
+                          const causality::DependencyVector& dv,
+                          SimTime stored_at, std::uint64_t bytes) {
+  spare_.index = index;
+  spare_.dv = dv;  // same-size copy assignment reuses the recycled buffer
+  spare_.stored_at = stored_at;
+  spare_.bytes = bytes;
+  put(std::move(spare_));
 }
 
 void CheckpointStore::collect(CheckpointIndex index) {
-  auto it = stored_.find(index);
-  RDTGC_EXPECTS(it != stored_.end());
-  bytes_ -= it->second.bytes;
-  stored_.erase(it);
+  const std::size_t pos = position(index);
+  RDTGC_EXPECTS(pos != indices_.size());
+  bytes_ -= checkpoints_[pos].bytes;
+  spare_ = std::move(checkpoints_[pos]);  // recycle the DV buffer
+  indices_.erase(indices_.begin() + static_cast<std::ptrdiff_t>(pos));
+  checkpoints_.erase(checkpoints_.begin() + static_cast<std::ptrdiff_t>(pos));
   ++stats_.collected;
 }
 
 std::size_t CheckpointStore::discard_after(CheckpointIndex ri) {
-  std::size_t discarded = 0;
-  for (auto it = stored_.upper_bound(ri); it != stored_.end();) {
-    bytes_ -= it->second.bytes;
-    it = stored_.erase(it);
-    ++discarded;
-  }
+  const auto it = std::upper_bound(indices_.begin(), indices_.end(), ri);
+  const auto pos = static_cast<std::size_t>(it - indices_.begin());
+  const std::size_t discarded = indices_.size() - pos;
+  for (std::size_t k = pos; k < checkpoints_.size(); ++k)
+    bytes_ -= checkpoints_[k].bytes;
+  indices_.resize(pos);
+  checkpoints_.resize(pos);
   stats_.discarded += discarded;
   return discarded;
 }
 
-std::vector<CheckpointIndex> CheckpointStore::stored_indices() const {
-  std::vector<CheckpointIndex> out;
-  out.reserve(stored_.size());
-  for (const auto& [index, checkpoint] : stored_) out.push_back(index);
-  return out;
-}
-
 CheckpointIndex CheckpointStore::last_index() const {
-  RDTGC_EXPECTS(!stored_.empty());
-  return stored_.rbegin()->first;
+  RDTGC_EXPECTS(!indices_.empty());
+  return indices_.back();
 }
 
 }  // namespace rdtgc::ckpt

@@ -4,10 +4,15 @@
 // eliminations from rollback discards (they mean different things in the
 // evaluation), and maintains the peak-occupancy statistics the paper's
 // bounds are stated against (n per process steady, n+1 transient, §4.5).
+//
+// Storage layout: two parallel flat vectors ordered by strictly ascending
+// checkpoint index — the index column doubles as the stored_indices() view,
+// and every lookup is a binary search over a contiguous array.  With RDT-LGC
+// at most n+1 checkpoints are live, so erase shifts are tiny and the
+// GC-elimination path never allocates.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "causality/dependency_vector.hpp"
@@ -36,23 +41,36 @@ class CheckpointStore {
   /// after discard_after()).
   void put(StoredCheckpoint checkpoint);
 
+  /// Copy-in variant for the hot checkpoint path: the dependency vector is
+  /// copied into the buffer recycled by the most recent collect(), so
+  /// steady-state checkpoint-and-collect churn never touches the heap.
+  void put(CheckpointIndex index, const causality::DependencyVector& dv,
+           SimTime stored_at, std::uint64_t bytes);
+
   bool contains(CheckpointIndex index) const;
+  /// Reference into the flat store — invalidated by the next mutation
+  /// (put/collect/discard_after); copy before interleaving.
   const StoredCheckpoint& get(CheckpointIndex index) const;
 
   /// Garbage-collection elimination of an obsolete checkpoint.
+  /// Allocation-free.
   void collect(CheckpointIndex index);
 
   /// Rollback discard of every checkpoint with index > ri (Algorithm 3
   /// line 4).  Returns how many were discarded.
   std::size_t discard_after(CheckpointIndex ri);
 
-  /// Currently stored indices, ascending.
-  std::vector<CheckpointIndex> stored_indices() const;
+  /// Currently stored indices, ascending.  O(1): a live view of the store's
+  /// flat index, invalidated by the next mutation — snapshot (copy) before
+  /// interleaving with put/collect/discard_after.
+  const std::vector<CheckpointIndex>& stored_indices() const {
+    return indices_;
+  }
 
   /// Highest stored index; store is never empty after the initial checkpoint.
   CheckpointIndex last_index() const;
 
-  std::size_t count() const { return stored_.size(); }
+  std::size_t count() const { return indices_.size(); }
   std::uint64_t bytes() const { return bytes_; }
 
   struct Stats {
@@ -65,8 +83,15 @@ class CheckpointStore {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Position of `index` in the flat arrays, or count() if absent.
+  std::size_t position(CheckpointIndex index) const;
+
   ProcessId owner_;
-  std::map<CheckpointIndex, StoredCheckpoint> stored_;
+  std::vector<CheckpointIndex> indices_;       // sorted ascending
+  std::vector<StoredCheckpoint> checkpoints_;  // parallel to indices_
+  /// Dead checkpoint recycled by collect(); its DV buffer is reused by the
+  /// copy-in put() so the steady-state churn is allocation-free.
+  StoredCheckpoint spare_;
   std::uint64_t bytes_ = 0;
   Stats stats_;
 };

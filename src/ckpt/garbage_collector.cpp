@@ -2,6 +2,10 @@
 
 namespace rdtgc::ckpt {
 
+void GarbageCollector::on_new_dependencies(std::span<const ProcessId> changed) {
+  for (const ProcessId j : changed) on_new_dependency(j);
+}
+
 void GarbageCollector::on_peer_recovery(const std::vector<IntervalIndex>&,
                                         const causality::DependencyVector&) {}
 

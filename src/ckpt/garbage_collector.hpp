@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ class GarbageCollector {
   /// Algorithm 2 "on receiving m": DV[j] was just raised by a message.
   virtual void on_new_dependency(ProcessId j) = 0;
 
+  /// Batched form of on_new_dependency: one delivery raised every entry in
+  /// `changed` (increasing ids, no duplicates, never self).  The default
+  /// forwards per id; collectors with a coalesced allocation-free path
+  /// (RDT-LGC) override it.  This is the entry point the middleware's
+  /// delivery handler drives; the per-id hook remains as the reference
+  /// implementation.
+  virtual void on_new_dependencies(std::span<const ProcessId> changed);
+
   /// Algorithm 2 "on taking checkpoint": checkpoint `index` (== DV[self] at
   /// call time) was just stored; called before DV[self] is incremented.
   virtual void on_checkpoint_stored(CheckpointIndex index) = 0;
@@ -63,6 +72,7 @@ class NoGc final : public GarbageCollector {
  public:
   void initialize(ProcessId, std::size_t, CheckpointStore&) override {}
   void on_new_dependency(ProcessId) override {}
+  void on_new_dependencies(std::span<const ProcessId>) override {}
   void on_checkpoint_stored(CheckpointIndex) override {}
   void on_rollback(const RollbackInfo&,
                    const causality::DependencyVector&) override {}

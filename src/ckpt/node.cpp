@@ -20,10 +20,14 @@ Node::Node(ProcessId self, std::size_t process_count,
       gc_(std::move(gc)),
       config_(config),
       store_(self),
-      dv_(process_count) {
+      dv_(process_count),
+      gc_scratch_(process_count) {
   RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
   RDTGC_EXPECTS(protocol_ != nullptr && gc_ != nullptr);
   network_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
+  // The recorder reads DV(v_self) straight from dv_ (stable address: Node is
+  // neither copyable nor movable) — no per-event copy.
+  recorder_.attach_volatile_dv(self_, &dv_);
   gc_->initialize(self_, process_count, store_);
   // Every process starts its execution by storing a stable checkpoint s^0,
   // ensuring at least one global recoverable state (§2.2).
@@ -32,7 +36,7 @@ Node::Node(ProcessId self, std::size_t process_count,
 
 sim::MessageId Node::send_app_message(ProcessId dst, std::uint64_t bytes) {
   RDTGC_EXPECTS(dst != self_);
-  sim::Message m;
+  sim::Message m = network_.make_message();  // recycled DV buffer
   m.src = self_;
   m.dst = dst;
   m.dv = dv_;
@@ -62,20 +66,21 @@ void Node::on_receive(const sim::Message& m) {
   }
   ++counters_.messages_received;
   recorder_.record_receive(m, dv_[self_], simulator_.now());
-  const std::vector<ProcessId> changed = dv_.merge(m.dv);
-  recorder_.set_volatile_dv(self_, dv_);
-  for (const ProcessId j : changed) gc_->on_new_dependency(j);
+  dv_.merge_into(m.dv, gc_scratch_);
+  if (config_.batched_gc_path) {
+    gc_->on_new_dependencies(gc_scratch_.span());
+  } else {
+    for (const ProcessId j : gc_scratch_) gc_->on_new_dependency(j);
+  }
 }
 
 void Node::take_checkpoint(ccp::CheckpointKind kind) {
   const CheckpointIndex index = dv_[self_];
-  store_.put(StoredCheckpoint{index, dv_, simulator_.now(),
-                              config_.checkpoint_bytes});
+  store_.put(index, dv_, simulator_.now(), config_.checkpoint_bytes);
   recorder_.record_checkpoint(self_, index, dv_, kind, simulator_.now());
   gc_->on_checkpoint_stored(index);
   dv_.at(self_) += 1;
   sent_since_checkpoint_ = false;
-  recorder_.set_volatile_dv(self_, dv_);
   RDTGC_DEBUG("p" << self_ << " checkpoint " << index << " dv="
                   << dv_.to_string());
 }
@@ -89,7 +94,6 @@ void Node::rollback_to(CheckpointIndex ri,
   dv_ = store_.get(ri).dv;                 // line 5: recreate DV
   dv_.at(self_) += 1;                      // line 6
   sent_since_checkpoint_ = false;
-  recorder_.set_volatile_dv(self_, dv_);
   gc_->on_rollback(RollbackInfo{ri, li}, dv_);  // lines 7-17
 }
 

@@ -7,7 +7,10 @@
 //   before sending m : sent <- true;  m.DV <- DV
 //   on receiving m   : (protocol decides) take forced checkpoint BEFORE the
 //                      receipt is processed; then for every j with
-//                      m.DV[j] > DV[j]: DV[j] <- m.DV[j]; GC hook(j)
+//                      m.DV[j] > DV[j]: DV[j] <- m.DV[j]; GC hook(j) — the
+//                      hooks are delivered as one batched call by default
+//                      (Config::batched_gc_path), allocation-free in steady
+//                      state
 //   on checkpoint    : store DV with the checkpoint; GC hook(DV[self]);
 //                      DV[self] <- DV[self]+1; sent <- false
 // The ordering matters: a forced checkpoint is "supposed to have been taken
@@ -35,7 +38,11 @@ class Node {
  public:
   struct Config {
     std::uint64_t checkpoint_bytes;  ///< synthetic size per checkpoint
-    Config() : checkpoint_bytes(1) {}
+    /// Drive the GC through the batched on_new_dependencies entry point
+    /// (allocation-free).  false selects the per-peer on_new_dependency
+    /// reference path, kept for equivalence tests and benchmarks.
+    bool batched_gc_path;
+    Config() : checkpoint_bytes(1), batched_gc_path(true) {}
   };
 
   struct Counters {
@@ -107,6 +114,9 @@ class Node {
   Config config_;
   CheckpointStore store_;
   causality::DependencyVector dv_;
+  /// Reusable merge output; pre-sized at construction so the steady-state
+  /// delivery handler never allocates.
+  causality::ChangedSet gc_scratch_;
   bool sent_since_checkpoint_ = false;
   Counters counters_;
 };

@@ -28,6 +28,14 @@ void RdtLgc::on_new_dependency(ProcessId j) {
   uc_->link(j, self_);
 }
 
+void RdtLgc::on_new_dependencies(std::span<const ProcessId> changed) {
+  RDTGC_EXPECTS(uc_.has_value());
+  // Algorithm 2, receive handler, coalesced: every changed peer now pins the
+  // last stable checkpoint; rebind_to adjusts the CCB refcount by ±k in one
+  // pass instead of k release+link pairs.
+  uc_->rebind_to(changed, self_);
+}
+
 void RdtLgc::on_checkpoint_stored(CheckpointIndex index) {
   RDTGC_EXPECTS(uc_.has_value());
   // Algorithm 2, checkpoint handler.  The release may collect the previous
@@ -68,11 +76,12 @@ void RdtLgc::on_rollback(const ckpt::RollbackInfo& info,
   RDTGC_EXPECTS(store_->contains(info.restored_index));
   RDTGC_EXPECTS(store_->last_index() == info.restored_index);
 
-  // Algorithm 3 line 7: rebuild the CCBs from the surviving storage.  The
-  // stored indices and their vectors are materialized once so the per-f
-  // search below stays O(log n) (binary) / O(n) (linear).
+  // Algorithm 3 line 7: rebuild the CCBs from the surviving storage.
+  // stored_indices() is the store's live flat index (no copy); `stored` and
+  // the `dvs` pointers are only valid until drop_zero_count() below starts
+  // eliminating, which is after their last use.
   uc_->clear();
-  const std::vector<CheckpointIndex> stored = store_->stored_indices();
+  const std::vector<CheckpointIndex>& stored = store_->stored_indices();
   std::vector<const causality::DependencyVector*> dvs;
   dvs.reserve(stored.size());
   for (const CheckpointIndex g : stored) {

@@ -41,7 +41,12 @@ class RdtLgc final : public ckpt::GarbageCollector {
 
   void initialize(ProcessId self, std::size_t process_count,
                   ckpt::CheckpointStore& store) override;
+  /// Per-peer reference implementation of the Algorithm-2 receive update;
+  /// the middleware drives the batched on_new_dependencies instead.
   void on_new_dependency(ProcessId j) override;
+  /// Batched Algorithm-2 receive update: one UcTable::rebind_to pass,
+  /// coalescing the per-peer release+link pairs.  Allocation-free.
+  void on_new_dependencies(std::span<const ProcessId> changed) override;
   void on_checkpoint_stored(CheckpointIndex index) override;
   void on_rollback(const ckpt::RollbackInfo& info,
                    const causality::DependencyVector& dv) override;

@@ -1,5 +1,6 @@
 #include "core/uc_table.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
@@ -10,16 +11,44 @@ UcTable::UcTable(std::size_t process_count, EliminateFn eliminate)
     : eliminate_(std::move(eliminate)), uc_(process_count) {
   RDTGC_EXPECTS(process_count >= 1);
   RDTGC_EXPECTS(eliminate_ != nullptr);
+  // §4.5: at most n live checkpoints steady-state, n+1 transiently, so the
+  // flat CCB store never regrows after this.
+  ccb_.reserve(process_count + 1);
+}
+
+auto UcTable::find_ccb(CheckpointIndex index) const
+    -> std::vector<Ccb>::const_iterator {
+  // The receive/checkpoint handlers overwhelmingly touch the newest CCB
+  // (UC[self]'s, the highest index): check the tail before binary-searching.
+  if (!ccb_.empty() && ccb_.back().index == index) return ccb_.end() - 1;
+  auto it = std::lower_bound(
+      ccb_.begin(), ccb_.end(), index,
+      [](const Ccb& ccb, CheckpointIndex i) { return ccb.index < i; });
+  if (it != ccb_.end() && it->index == index) return it;
+  return ccb_.end();
+}
+
+auto UcTable::find_ccb(CheckpointIndex index) -> std::vector<Ccb>::iterator {
+  const auto it = std::as_const(*this).find_ccb(index);
+  return ccb_.begin() + (it - ccb_.cbegin());
+}
+
+void UcTable::insert_ccb(CheckpointIndex index, int count) {
+  auto pos = std::lower_bound(
+      ccb_.begin(), ccb_.end(), index,
+      [](const Ccb& ccb, CheckpointIndex i) { return ccb.index < i; });
+  RDTGC_EXPECTS(pos == ccb_.end() || pos->index != index);  // fresh index
+  ccb_.insert(pos, Ccb{index, count});
 }
 
 void UcTable::release(ProcessId j) {
   RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
   auto& slot = uc_[static_cast<std::size_t>(j)];
   if (!slot.has_value()) return;  // Algorithm 1: no-op on Null
-  auto it = ccb_.find(*slot);
-  RDTGC_ASSERT(it != ccb_.end() && it->second >= 1);
-  if (--it->second == 0) {
-    const CheckpointIndex index = it->first;
+  auto it = find_ccb(*slot);
+  RDTGC_ASSERT(it != ccb_.end() && it->count >= 1);
+  if (--it->count == 0) {
+    const CheckpointIndex index = it->index;
     ccb_.erase(it);
     slot.reset();
     eliminate_(index);
@@ -36,50 +65,77 @@ void UcTable::link(ProcessId j, ProcessId i) {
   auto& dst = uc_[static_cast<std::size_t>(j)];
   RDTGC_EXPECTS(!dst.has_value());
   dst = src;
-  auto it = ccb_.find(*src);
+  auto it = find_ccb(*src);
   RDTGC_ASSERT(it != ccb_.end());
-  ++it->second;
+  ++it->count;
 }
 
 void UcTable::new_ccb(ProcessId j, CheckpointIndex index) {
   RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
   auto& slot = uc_[static_cast<std::size_t>(j)];
   RDTGC_EXPECTS(!slot.has_value());
-  const auto [it, inserted] = ccb_.emplace(index, 1);
-  RDTGC_EXPECTS(inserted);
-  (void)it;
+  insert_ccb(index, 1);
   slot = index;
+}
+
+void UcTable::rebind_to(std::span<const ProcessId> changed, ProcessId self) {
+  RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < uc_.size());
+  const auto& self_slot = uc_[static_cast<std::size_t>(self)];
+  RDTGC_EXPECTS(self_slot.has_value());
+  const CheckpointIndex target = *self_slot;
+  int rebound = 0;
+  for (const ProcessId j : changed) {
+    RDTGC_EXPECTS(j >= 0 && static_cast<std::size_t>(j) < uc_.size());
+    RDTGC_EXPECTS(j != self);
+    auto& slot = uc_[static_cast<std::size_t>(j)];
+    if (slot.has_value()) {
+      if (*slot == target) continue;  // release+link would net to zero
+      auto it = find_ccb(*slot);
+      RDTGC_ASSERT(it != ccb_.end() && it->count >= 1);
+      if (--it->count == 0) {
+        // The self CCB is never the one dying here (*slot != target), so the
+        // deferred +k below cannot resurrect an eliminated checkpoint.
+        const CheckpointIndex dead = it->index;
+        ccb_.erase(it);
+        slot.reset();
+        eliminate_(dead);
+      }
+    }
+    slot = target;
+    ++rebound;
+  }
+  if (rebound != 0) {
+    auto it = find_ccb(target);
+    RDTGC_ASSERT(it != ccb_.end());
+    it->count += rebound;
+  }
 }
 
 void UcTable::clear() {
   for (auto& slot : uc_) slot.reset();
-  ccb_.clear();
+  ccb_.clear();  // capacity retained
 }
 
-void UcTable::add_ccb(CheckpointIndex index) {
-  const auto [it, inserted] = ccb_.emplace(index, 0);
-  RDTGC_EXPECTS(inserted);
-  (void)it;
-}
+void UcTable::add_ccb(CheckpointIndex index) { insert_ccb(index, 0); }
 
 void UcTable::reference(ProcessId f, CheckpointIndex index) {
   RDTGC_EXPECTS(f >= 0 && static_cast<std::size_t>(f) < uc_.size());
   auto& slot = uc_[static_cast<std::size_t>(f)];
   RDTGC_EXPECTS(!slot.has_value());
-  auto it = ccb_.find(index);
+  auto it = find_ccb(index);
   RDTGC_EXPECTS(it != ccb_.end());
-  ++it->second;
+  ++it->count;
   slot = index;
 }
 
 void UcTable::drop_zero_count() {
-  for (auto it = ccb_.begin(); it != ccb_.end();) {
-    if (it->second == 0) {
-      const CheckpointIndex index = it->first;
-      it = ccb_.erase(it);
+  for (std::size_t k = 0; k < ccb_.size();) {
+    if (ccb_[k].count == 0) {
+      const CheckpointIndex index = ccb_[k].index;
+      ccb_.erase(ccb_.begin() + static_cast<std::ptrdiff_t>(k));
       eliminate_(index);
     } else {
-      ++it;
+      ++k;
     }
   }
 }
@@ -90,14 +146,14 @@ std::optional<CheckpointIndex> UcTable::entry(ProcessId j) const {
 }
 
 int UcTable::ref_count(CheckpointIndex index) const {
-  auto it = ccb_.find(index);
-  return it == ccb_.end() ? 0 : it->second;
+  auto it = find_ccb(index);
+  return it == ccb_.end() ? 0 : it->count;
 }
 
 std::vector<CheckpointIndex> UcTable::tracked_checkpoints() const {
   std::vector<CheckpointIndex> out;
   out.reserve(ccb_.size());
-  for (const auto& [index, count] : ccb_) out.push_back(index);
+  for (const Ccb& ccb : ccb_) out.push_back(ccb.index);
   return out;
 }
 

@@ -9,14 +9,16 @@
 // callback.
 //
 // The paper manipulates CCBs through pointers; we keep the identical
-// semantics with an index-keyed map (a CCB is uniquely identified by its
-// checkpoint index), which gives the same O(1) operations without shared-
-// ownership machinery.
+// semantics with an index-keyed store (a CCB is uniquely identified by its
+// checkpoint index).  Because at most n+1 checkpoints are ever live (§4.5)
+// and their indices are created in increasing order, the CCBs live in a flat
+// sorted vector with capacity reserved up front: every operation is a binary
+// search plus contiguous moves, and steady-state mutation never allocates.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,8 @@ namespace rdtgc::core {
 class UcTable {
  public:
   /// Called when a reference count reaches zero: the checkpoint is obsolete.
+  /// Must not reenter the table (Algorithm 1 has the same restriction: the
+  /// elimination is a storage action, not a table action).
   using EliminateFn = std::function<void(CheckpointIndex)>;
 
   UcTable(std::size_t process_count, EliminateFn eliminate);
@@ -46,6 +50,17 @@ class UcTable {
   /// make UC[j] reference it.  Precondition: UC[j] is Null and no CCB for
   /// `ind` exists.
   void new_ccb(ProcessId j, CheckpointIndex index);
+
+  // ---- Batched Algorithm 2 receive handler ----
+
+  /// Equivalent to `for j in changed: release(j); link(j, self)` in order,
+  /// with the bookkeeping coalesced: entries already referencing UC[self]'s
+  /// checkpoint are left untouched (their release+link nets to zero) and the
+  /// self CCB's reference count is adjusted once by +k instead of k
+  /// increments.  Eliminations fire in the same order as the per-peer
+  /// sequence.  Preconditions: UC[self] is set and every id in `changed` is
+  /// valid and != self.  Allocation-free.
+  void rebind_to(std::span<const ProcessId> changed, ProcessId self);
 
   // ---- Algorithm 3 support (rollback rebuild) ----
 
@@ -74,9 +89,21 @@ class UcTable {
   std::string to_string() const;
 
  private:
+  struct Ccb {
+    CheckpointIndex index;
+    int count;
+  };
+
+  /// Iterator to the CCB for `index`, or end() if none; binary search over
+  /// the flat sorted store.
+  std::vector<Ccb>::iterator find_ccb(CheckpointIndex index);
+  std::vector<Ccb>::const_iterator find_ccb(CheckpointIndex index) const;
+  /// Sorted insert of a fresh CCB (precondition: no CCB for `index` exists).
+  void insert_ccb(CheckpointIndex index, int count);
+
   EliminateFn eliminate_;
   std::vector<std::optional<CheckpointIndex>> uc_;
-  std::map<CheckpointIndex, int> ccb_;  // checkpoint -> reference count
+  std::vector<Ccb> ccb_;  // sorted by checkpoint index; capacity n+1
 };
 
 }  // namespace rdtgc::core

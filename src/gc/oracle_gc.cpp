@@ -18,7 +18,10 @@ std::uint64_t OracleGcDriver::sweep() {
   const auto obsolete = ccp::obsolete_theorem1(recorder_, causal);
   std::uint64_t count = 0;
   for (std::size_t p = 0; p < nodes_.size(); ++p) {
-    for (const CheckpointIndex g : nodes_[p]->store().stored_indices()) {
+    // Snapshot: stored_indices() is a live view and collect() below mutates it.
+    const std::vector<CheckpointIndex> indices =
+        nodes_[p]->store().stored_indices();
+    for (const CheckpointIndex g : indices) {
       if (g < static_cast<CheckpointIndex>(obsolete[p].size()) &&
           obsolete[p][static_cast<std::size_t>(g)]) {
         nodes_[p]->store().collect(g);

@@ -25,7 +25,9 @@ std::uint64_t TimedGcDriver::round() {
   const SimTime horizon = now - config_.retention;
   std::uint64_t count = 0;
   for (ckpt::Node* node : nodes_) {
-    const auto indices = node->store().stored_indices();
+    // Snapshot: stored_indices() is a live view and collect() below mutates it.
+    const std::vector<CheckpointIndex> indices =
+        node->store().stored_indices();
     for (const CheckpointIndex g : indices) {
       if (g == node->store().last_index()) continue;  // keep the newest
       if (node->store().get(g).stored_at < horizon) {

@@ -32,6 +32,8 @@ struct SystemConfig {
   GcChoice gc = GcChoice::kRdtLgc;
   sim::Network::Config network;
   std::uint64_t seed = 1;
+  /// Per-node middleware config; node.batched_gc_path=false selects the
+  /// per-peer reference GC path (equivalence tests and benchmarks).
   ckpt::Node::Config node;
 };
 

@@ -24,6 +24,15 @@ void Network::connect(ProcessId p, DeliveryFn sink) {
   sinks_[static_cast<std::size_t>(p)] = std::move(sink);
 }
 
+Message Network::make_message() {
+  // Fresh value-initialized shell that steals only the recycled DV buffer
+  // (the caller overwrites its contents with a same-size copy, reusing the
+  // capacity) — every other field gets its default, even ones added later.
+  Message m;
+  m.dv = std::move(recycled_.dv);
+  return m;
+}
+
 MessageId Network::send(Message m) {
   RDTGC_EXPECTS(m.dst >= 0 &&
                 static_cast<std::size_t>(m.dst) < sinks_.size() &&
@@ -65,7 +74,7 @@ MessageId Network::send(Message m) {
 void Network::schedule_delivery(Message m, SimTime when) {
   ++in_flight_;
   const std::uint64_t epoch = epoch_;
-  simulator_.at(when, [this, epoch, m = std::move(m)] {
+  simulator_.at(when, [this, epoch, m = std::move(m)]() mutable {
     if (epoch != epoch_) {
       // drop_in_flight() already reset the counter for this epoch.
       ++stats_.dropped_in_flight;
@@ -75,12 +84,13 @@ void Network::schedule_delivery(Message m, SimTime when) {
     --in_flight_;
     if (paused_) {
       // Delivery surfaced while frozen: requeue for resume().
-      held_.push_back(m);
+      held_.push_back(std::move(m));
       ++in_flight_;
       return;
     }
     ++stats_.delivered;
     sinks_[static_cast<std::size_t>(m.dst)](m);
+    recycled_ = std::move(m);  // hand the DV buffer back to the next sender
   });
 }
 
@@ -97,12 +107,15 @@ void Network::deliver_now(MessageId id) {
   auto it = std::find_if(mailbox_.begin(), mailbox_.end(),
                          [id](const Message& m) { return m.id == id; });
   RDTGC_EXPECTS(it != mailbox_.end());
-  const Message m = *it;
+  // Move, don't copy: the message carries a size-n dependency vector and
+  // this is the benchmarked receive path.
+  Message m = std::move(*it);
   mailbox_.erase(it);
   RDTGC_ASSERT(in_flight_ > 0);
   --in_flight_;
   ++stats_.delivered;
   sinks_[static_cast<std::size_t>(m.dst)](m);
+  recycled_ = std::move(m);  // hand the DV buffer back to the next sender
 }
 
 std::vector<MessageId> Network::parked() const {

@@ -52,6 +52,12 @@ class Network {
   /// Send `m` (id and sent_at are assigned here).  Returns the message id.
   MessageId send(Message m);
 
+  /// A blank message shell whose dependency-vector buffer is recycled from
+  /// the most recently delivered message: filling it with a same-size DV
+  /// copy performs no heap allocation.  Senders on the hot path should
+  /// start from this instead of a default-constructed Message.
+  Message make_message();
+
   /// Drop every message currently in flight (used during recovery sessions).
   void drop_in_flight();
 
@@ -87,6 +93,9 @@ class Network {
   std::vector<Message> held_;
   /// Manual-mode mailbox, in send order.
   std::vector<Message> mailbox_;
+  /// Shell of the last delivered message; make_message() hands its DV
+  /// buffer back to the next sender (allocation-free steady state).
+  Message recycled_;
   /// Per (src,dst) channel: last scheduled delivery time (FIFO mode).
   std::map<std::pair<ProcessId, ProcessId>, SimTime> last_delivery_;
 };

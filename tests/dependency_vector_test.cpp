@@ -58,6 +58,29 @@ TEST(DependencyVector, MergeTakesComponentwiseMax) {
   EXPECT_EQ(mine[2], 0);
 }
 
+TEST(DependencyVector, MergeIntoMatchesMergeAndReusesTheBuffer) {
+  DependencyVector mine(3), msg(3);
+  mine.at(0) = 2;
+  msg.at(0) = 1;  // stale: must not regress
+  msg.at(1) = 4;
+  ChangedSet changed(3);
+  mine.merge_into(msg, changed);
+  EXPECT_EQ(changed.to_vector(), (std::vector<ProcessId>{1}));
+  EXPECT_EQ(mine[0], 2);
+  EXPECT_EQ(mine[1], 4);
+  // A second merge with nothing new clears the buffer without reallocating.
+  const std::size_t capacity = changed.capacity();
+  mine.merge_into(msg, changed);
+  EXPECT_TRUE(changed.empty());
+  EXPECT_EQ(changed.capacity(), capacity);
+}
+
+TEST(DependencyVector, MergeIntoRequiresSameSize) {
+  DependencyVector a(2), b(3);
+  ChangedSet changed;
+  EXPECT_THROW(a.merge_into(b, changed), util::ContractViolation);
+}
+
 TEST(DependencyVector, MergeIsIdempotent) {
   DependencyVector mine(3), msg(3);
   msg.at(2) = 7;

@@ -1,0 +1,336 @@
+// Hot-path contract tests for the allocation-free receive path:
+//  * property-style equivalence of the batched APIs against the per-peer
+//    reference sequences they coalesce (UcTable::rebind_to vs release+link,
+//    RdtLgc::on_new_dependencies vs on_new_dependency, whole-system batched
+//    vs per-peer delivery on randomized workloads);
+//  * a zero-allocation guarantee for the steady-state receive
+//    (merge_into + on_new_dependencies + CCB/store maintenance), enforced
+//    with a global operator new/delete counting hook.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "causality/dependency_vector.hpp"
+#include "ckpt/checkpoint_store.hpp"
+#include "core/rdt_lgc.hpp"
+#include "core/uc_table.hpp"
+#include "harness/system.hpp"
+#include "helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+// ---- Allocation-counting hook -------------------------------------------
+//
+// Replaces the global (unaligned) new/delete pair with malloc/free plus a
+// counter.  Replacement is per-binary, so only this test sees it; the
+// aligned overloads keep their defaults (replaced and default operators pair
+// correctly as long as whole new/delete families are swapped together).
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocation_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocation_count;
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace rdtgc {
+namespace {
+
+// ---- merge_into vs merge -------------------------------------------------
+
+causality::DependencyVector random_dv(std::size_t n, util::Rng& rng,
+                                      std::uint64_t bound) {
+  causality::DependencyVector dv(n);
+  for (std::size_t j = 0; j < n; ++j)
+    dv.at(static_cast<ProcessId>(j)) =
+        static_cast<IntervalIndex>(rng.uniform(bound));
+  return dv;
+}
+
+TEST(HotPathMerge, MergeIntoMatchesMergeOnRandomizedVectors) {
+  util::Rng rng(20260725);
+  for (const std::size_t n : {1u, 2u, 5u, 16u, 64u}) {
+    causality::ChangedSet changed(n);
+    for (int round = 0; round < 200; ++round) {
+      const auto mine = random_dv(n, rng, 6);
+      const auto msg = random_dv(n, rng, 6);
+      auto via_merge = mine;
+      auto via_merge_into = mine;
+      const std::vector<ProcessId> expected = via_merge.merge(msg);
+      via_merge_into.merge_into(msg, changed);
+      ASSERT_EQ(changed.to_vector(), expected) << "n=" << n;
+      ASSERT_EQ(via_merge_into, via_merge) << "n=" << n;
+    }
+  }
+}
+
+TEST(HotPathMerge, MergeIntoClearsPreviousContents) {
+  causality::DependencyVector mine(3), msg(3);
+  causality::ChangedSet changed;
+  msg.at(1) = 1;
+  mine.merge_into(msg, changed);
+  ASSERT_EQ(changed.to_vector(), (std::vector<ProcessId>{1}));
+  mine.merge_into(msg, changed);  // nothing new now
+  EXPECT_TRUE(changed.empty());
+}
+
+// ---- UcTable::rebind_to vs release+link ----------------------------------
+
+/// One table driven through rebind_to, one through the per-peer reference
+/// sequence, fed identical checkpoint/receive events; every observable must
+/// match after each event, including the eliminate-callback sequences.
+struct TablePair {
+  std::vector<CheckpointIndex> batched_dead, reference_dead;
+  core::UcTable batched, reference;
+
+  explicit TablePair(std::size_t n)
+      : batched(n, [this](CheckpointIndex i) { batched_dead.push_back(i); }),
+        reference(n,
+                  [this](CheckpointIndex i) { reference_dead.push_back(i); }) {}
+
+  void checkpoint(ProcessId self, CheckpointIndex index) {
+    batched.release(self);
+    batched.new_ccb(self, index);
+    reference.release(self);
+    reference.new_ccb(self, index);
+  }
+
+  void receive(const std::vector<ProcessId>& changed, ProcessId self) {
+    batched.rebind_to({changed.data(), changed.size()}, self);
+    for (const ProcessId j : changed) {
+      reference.release(j);
+      reference.link(j, self);
+    }
+  }
+
+  void expect_identical(std::size_t n) {
+    ASSERT_EQ(batched.to_string(), reference.to_string());
+    ASSERT_EQ(batched.tracked_checkpoints(), reference.tracked_checkpoints());
+    for (const CheckpointIndex g : batched.tracked_checkpoints())
+      ASSERT_EQ(batched.ref_count(g), reference.ref_count(g)) << "ccb " << g;
+    for (ProcessId j = 0; j < static_cast<ProcessId>(n); ++j)
+      ASSERT_EQ(batched.entry(j), reference.entry(j)) << "UC[" << j << "]";
+    ASSERT_EQ(batched_dead, reference_dead) << "elimination sequences differ";
+  }
+};
+
+TEST(HotPathUcTable, RebindMatchesReleaseLinkOnRandomizedSequences) {
+  util::Rng rng(42);
+  for (const std::size_t n : {2u, 3u, 8u, 32u}) {
+    TablePair pair(n);
+    const ProcessId self = 0;
+    CheckpointIndex next = 0;
+    pair.checkpoint(self, next++);
+    for (int event = 0; event < 300; ++event) {
+      if (rng.bernoulli(0.3)) {
+        pair.checkpoint(self, next++);
+      } else {
+        // Random subset of peers, increasing ids, as merge_into produces.
+        std::vector<ProcessId> changed;
+        for (ProcessId j = 1; j < static_cast<ProcessId>(n); ++j)
+          if (rng.bernoulli(0.4)) changed.push_back(j);
+        pair.receive(changed, self);
+      }
+      pair.expect_identical(n);
+    }
+  }
+}
+
+TEST(HotPathUcTable, RebindEmptyBatchIsANoOp) {
+  core::UcTable table(3, [](CheckpointIndex) { FAIL() << "eliminated"; });
+  table.new_ccb(0, 0);
+  table.rebind_to({}, 0);
+  EXPECT_EQ(table.ref_count(0), 1);
+}
+
+TEST(HotPathUcTable, RebindSkipsPeersAlreadyOnSelfCheckpoint) {
+  std::vector<CheckpointIndex> dead;
+  core::UcTable table(3, [&](CheckpointIndex i) { dead.push_back(i); });
+  table.new_ccb(0, 0);
+  const std::vector<ProcessId> both{1, 2};
+  table.rebind_to({both.data(), both.size()}, 0);
+  EXPECT_EQ(table.ref_count(0), 3);
+  table.rebind_to({both.data(), both.size()}, 0);  // all already bound
+  EXPECT_EQ(table.ref_count(0), 3);
+  EXPECT_TRUE(dead.empty());
+}
+
+TEST(HotPathUcTable, RebindEliminatesAbandonedCheckpointInOrder) {
+  std::vector<CheckpointIndex> dead;
+  core::UcTable table(4, [&](CheckpointIndex i) { dead.push_back(i); });
+  table.new_ccb(0, 0);
+  const std::vector<ProcessId> all{1, 2, 3};
+  table.rebind_to({all.data(), all.size()}, 0);  // all pin s^0
+  table.release(0);
+  table.new_ccb(0, 1);  // s^0 still pinned by the three peers
+  table.rebind_to({all.data(), all.size()}, 0);
+  EXPECT_EQ(dead, (std::vector<CheckpointIndex>{0}));
+  EXPECT_EQ(table.ref_count(1), 4);
+  EXPECT_EQ(table.ref_count(0), 0);
+}
+
+TEST(HotPathUcTable, RebindContractViolations) {
+  core::UcTable table(3, [](CheckpointIndex) {});
+  const std::vector<ProcessId> peer{1};
+  // UC[self] must be set.
+  EXPECT_THROW(table.rebind_to({peer.data(), peer.size()}, 0),
+               util::ContractViolation);
+  table.new_ccb(0, 0);
+  // self must not appear in the batch.
+  const std::vector<ProcessId> with_self{0, 1};
+  EXPECT_THROW(table.rebind_to({with_self.data(), with_self.size()}, 0),
+               util::ContractViolation);
+  // ids must be in range.
+  const std::vector<ProcessId> oob{3};
+  EXPECT_THROW(table.rebind_to({oob.data(), oob.size()}, 0),
+               util::ContractViolation);
+}
+
+// ---- RdtLgc::on_new_dependencies vs on_new_dependency --------------------
+
+struct LgcRig {
+  ckpt::CheckpointStore store;
+  core::RdtLgc lgc;
+  causality::DependencyVector dv;
+
+  LgcRig(ProcessId self, std::size_t n) : store(self), dv(n) {
+    lgc.initialize(self, n, store);
+    store.put(ckpt::StoredCheckpoint{0, dv, 0, 1});
+    lgc.on_checkpoint_stored(0);
+    dv.at(self) += 1;
+  }
+
+  void checkpoint(ProcessId self) {
+    const CheckpointIndex index = dv[self];
+    store.put(index, dv, 0, 1);  // copy-in put: recycled DV buffer
+    lgc.on_checkpoint_stored(index);
+    dv.at(self) += 1;
+  }
+};
+
+TEST(HotPathRdtLgc, BatchedHookMatchesPerPeerHookOnRandomizedEvents) {
+  util::Rng rng(7);
+  const std::size_t n = 8;
+  const ProcessId self = 0;
+  LgcRig batched(self, n), reference(self, n);
+  for (int event = 0; event < 400; ++event) {
+    if (rng.bernoulli(0.3)) {
+      batched.checkpoint(self);
+      reference.checkpoint(self);
+    } else {
+      std::vector<ProcessId> changed;
+      for (ProcessId j = 1; j < static_cast<ProcessId>(n); ++j)
+        if (rng.bernoulli(0.4)) changed.push_back(j);
+      batched.lgc.on_new_dependencies({changed.data(), changed.size()});
+      for (const ProcessId j : changed) reference.lgc.on_new_dependency(j);
+    }
+    ASSERT_EQ(batched.lgc.uc().to_string(), reference.lgc.uc().to_string());
+    ASSERT_EQ(batched.lgc.collected(), reference.lgc.collected());
+    ASSERT_EQ(batched.store.stored_indices(), reference.store.stored_indices());
+  }
+  EXPECT_GT(batched.lgc.collected(), 0u);
+}
+
+// ---- Whole-system equivalence --------------------------------------------
+
+TEST(HotPathSystem, BatchedAndPerPeerDeliveriesProduceIdenticalRuns) {
+  for (const std::uint64_t seed : {3u, 19u}) {
+    harness::SystemConfig config;
+    config.process_count = 4;
+    config.gc = harness::GcChoice::kRdtLgc;
+    config.seed = seed;
+    config.node.batched_gc_path = true;
+    harness::System batched(config);
+    config.node.batched_gc_path = false;
+    harness::System per_peer(config);
+
+    for (harness::System* system : {&batched, &per_peer}) {
+      workload::WorkloadConfig wl;
+      wl.seed = seed * 31 + 1;
+      workload::WorkloadDriver driver(system->simulator(), system->node_ptrs(),
+                                      wl);
+      driver.start(2000);
+      system->simulator().run();
+    }
+
+    for (ProcessId p = 0; p < 4; ++p) {
+      ASSERT_EQ(batched.node(p).store().stored_indices(),
+                per_peer.node(p).store().stored_indices())
+          << "seed " << seed << " p" << p;
+      ASSERT_EQ(batched.rdt_lgc(p).uc().to_string(),
+                per_peer.rdt_lgc(p).uc().to_string())
+          << "seed " << seed << " p" << p;
+      ASSERT_EQ(batched.rdt_lgc(p).collected(),
+                per_peer.rdt_lgc(p).collected())
+          << "seed " << seed << " p" << p;
+    }
+    test::audit_exact_corollary1(batched);
+  }
+}
+
+// ---- Zero allocations on the steady-state receive ------------------------
+
+TEST(HotPathAllocations, SteadyStateBatchedReceiveIsAllocationFree) {
+  const std::size_t n = 64;
+  const ProcessId self = 0;
+  LgcRig rig(self, n);
+  causality::DependencyVector msg(n);
+  causality::ChangedSet changed(n);
+
+  IntervalIndex tick = 0;
+  auto receive_all = [&] {
+    // A delivery raising every peer entry: the worst-case receive.
+    ++tick;
+    for (ProcessId j = 1; j < static_cast<ProcessId>(n); ++j)
+      msg.at(j) = tick;
+    rig.dv.merge_into(msg, changed);
+    rig.lgc.on_new_dependencies(changed.span());
+  };
+  // Warm-up: bind every UC entry, fill the scratch buffer, and run one full
+  // checkpoint+receive cycle so the store's recycled DV buffer is primed.
+  receive_all();
+  rig.checkpoint(self);
+  receive_all();
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (int round = 0; round < 100; ++round) {
+    // Full steady-state cycle: store a checkpoint (copy-in put into the
+    // recycled buffer), then a worst-case receive that rebinds all n-1
+    // peers and eliminates the abandoned checkpoint through the store.
+    rig.checkpoint(self);
+    receive_all();
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "steady-state checkpoint/receive churn touched the heap";
+  EXPECT_GE(rig.lgc.collected(), 100u);  // eliminations did happen
+}
+
+}  // namespace
+}  // namespace rdtgc

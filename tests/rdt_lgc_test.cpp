@@ -106,6 +106,35 @@ TEST(RdtLgc, MultiplePinnersKeepCheckpointAlive) {
   EXPECT_TRUE(scenario.node(0).store().contains(1));
 }
 
+TEST(RdtLgc, BatchedDependenciesPinAndCollectLikePerPeerCalls) {
+  // Drive the Algorithm-2 events directly: a batch of new dependencies pins
+  // the last checkpoint once per peer, and abandoning a checkpoint through a
+  // later batch collects it — identical to the per-peer hook sequence.
+  ckpt::CheckpointStore store(0);
+  core::RdtLgc lgc;
+  causality::DependencyVector dv(4);
+  lgc.initialize(0, 4, store);
+  store.put(ckpt::StoredCheckpoint{0, dv, 0, 1});
+  lgc.on_checkpoint_stored(0);
+  const std::vector<ProcessId> batch{1, 2, 3};
+  lgc.on_new_dependencies({batch.data(), batch.size()});
+  EXPECT_EQ(lgc.uc().ref_count(0), 4);
+  store.put(ckpt::StoredCheckpoint{1, dv, 0, 1});
+  lgc.on_checkpoint_stored(1);
+  EXPECT_TRUE(store.contains(0));  // still pinned by the three peers
+  lgc.on_new_dependencies({batch.data(), batch.size()});
+  EXPECT_FALSE(store.contains(0));  // everyone moved to s^1
+  EXPECT_EQ(lgc.collected(), 1u);
+  EXPECT_EQ(lgc.uc().ref_count(1), 4);
+}
+
+TEST(RdtLgc, BatchedHookBeforeInitializeRejected) {
+  core::RdtLgc lgc;
+  const std::vector<ProcessId> batch{1};
+  EXPECT_THROW(lgc.on_new_dependencies({batch.data(), batch.size()}),
+               util::ContractViolation);
+}
+
 TEST(RdtLgc, InitializeTwiceRejected) {
   core::RdtLgc lgc;
   ckpt::CheckpointStore store(0);

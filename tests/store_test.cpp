@@ -34,6 +34,28 @@ TEST(CheckpointStore, IndicesMustIncrease) {
   EXPECT_THROW(store.put(make(3)), util::ContractViolation);
 }
 
+TEST(CheckpointStore, CopyInPutMatchesValuePut) {
+  CheckpointStore store(0);
+  causality::DependencyVector dv(3);
+  dv.at(1) = 4;
+  store.put(7, dv, 12, 9);
+  ASSERT_TRUE(store.contains(7));
+  EXPECT_EQ(store.get(7).index, 7);
+  EXPECT_EQ(store.get(7).dv, dv);
+  EXPECT_EQ(store.get(7).stored_at, 12u);
+  EXPECT_EQ(store.get(7).bytes, 9u);
+  EXPECT_EQ(store.bytes(), 9u);
+  // The recycled-buffer path: collect then put again must not corrupt the
+  // stored vector (the DV is copied, not aliased).
+  store.collect(7);
+  dv.at(2) = 1;
+  store.put(8, dv, 13, 2);
+  EXPECT_EQ(store.get(8).dv, dv);
+  dv.at(0) = 99;
+  EXPECT_NE(store.get(8).dv, dv);
+  EXPECT_THROW(store.put(8, dv, 14, 1), util::ContractViolation);
+}
+
 TEST(CheckpointStore, CollectRemovesAndCounts) {
   CheckpointStore store(0);
   store.put(make(0, 2));

@@ -71,6 +71,31 @@ TEST_F(UcTableTest, Algorithm2ReceivePattern) {
   EXPECT_EQ(table_.ref_count(1), 2);
 }
 
+TEST_F(UcTableTest, RebindToMatchesAlgorithm2ReceivePattern) {
+  // Same script as Algorithm2ReceivePattern, through the batched entry.
+  const ProcessId self = 0;
+  table_.new_ccb(self, 0);
+  const std::vector<ProcessId> j{2};
+  table_.rebind_to({j.data(), j.size()}, self);
+  EXPECT_EQ(table_.ref_count(0), 2);
+  table_.release(self);
+  table_.new_ccb(self, 1);
+  EXPECT_TRUE(eliminated_.empty());  // 0 still pinned by UC[2]
+  table_.rebind_to({j.data(), j.size()}, self);
+  EXPECT_EQ(eliminated_, (std::vector<CheckpointIndex>{0}));
+  EXPECT_EQ(table_.ref_count(1), 2);
+  EXPECT_EQ(table_.entry(2), std::optional<CheckpointIndex>(1));
+}
+
+TEST_F(UcTableTest, RebindToCoalescesAWholeBatch) {
+  table_.new_ccb(0, 3);
+  const std::vector<ProcessId> batch{1, 2};
+  table_.rebind_to({batch.data(), batch.size()}, 0);
+  EXPECT_EQ(table_.ref_count(3), 3);
+  EXPECT_EQ(table_.to_string(), "(3, 3, 3)");
+  EXPECT_TRUE(eliminated_.empty());
+}
+
 TEST_F(UcTableTest, LinkRequiresSetSourceAndNullTarget) {
   EXPECT_THROW(table_.link(1, 0), util::ContractViolation);  // source Null
   table_.new_ccb(0, 3);
