@@ -12,6 +12,7 @@
 #include "ccp/analysis.hpp"
 #include "ccp/precedence.hpp"
 #include "ccp/zigzag.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
 #include "core/rdt_lgc.hpp"
 #include "core/uc_table.hpp"
 #include "harness/system.hpp"
@@ -127,7 +128,7 @@ BENCHMARK(BM_ReceivePath)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 // pair makes the old-vs-new delta of the coalesced entry point visible.
 void BM_ReceiveBatch(benchmark::State& state, bool batched) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   core::RdtLgc lgc;
   lgc.initialize(0, n, store);
   causality::DependencyVector dv(n), msg(n);
@@ -165,7 +166,95 @@ void BM_ReceivePathPerPeer(benchmark::State& state) {
 BENCHMARK(BM_ReceivePathBatched)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_ReceivePathPerPeer)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
-void rollback_setup(std::size_t n, ckpt::CheckpointStore& store,
+// ---- Sharded store put/collect access patterns ---------------------------
+//
+// The striped/contended pair measures the stripe function's effect on the
+// storage hot path itself (no GC above it):
+//  * striped — consecutive checkpoint indices, the RDT-LGC live-window
+//    pattern the low-bit stripe function spreads round-robin across every
+//    shard, so each stripe holds batch/shard_count entries;
+//  * contended — indices stepping by shard_count, so every operation lands
+//    on ONE stripe: the serialized pattern sharding exists to avoid, and
+//    what a contiguous-range stripe function would pay on the hot window.
+// Arg is the dependency-vector width (the dominant copy cost of a put).
+// Each iteration drives a 64-checkpoint batch; the opposite half of the
+// churn (collects for BM_ShardedPut, puts for BM_ShardedCollect) runs with
+// timing paused, which also re-primes every stripe's recycled spare buffer
+// so the measured half stays allocation-free.
+
+constexpr int kShardedBatch = 64;
+
+void BM_ShardedPut(benchmark::State& state, CheckpointIndex stride) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::ShardedCheckpointStore store(0);
+  causality::DependencyVector dv(n);
+  auto put_batch = [&] {
+    CheckpointIndex next = 0;
+    for (int k = 0; k < kShardedBatch; ++k, next += stride)
+      store.put(next, dv, 0, 1);
+  };
+  auto collect_batch = [&] {
+    CheckpointIndex next = 0;
+    for (int k = 0; k < kShardedBatch; ++k, next += stride)
+      store.collect(next);
+  };
+  put_batch();      // warm the per-shard vector capacities
+  collect_batch();  // prime the per-shard spare recyclers; store is empty
+  for (auto _ : state) {
+    put_batch();  // timed: copy-in puts into recycled per-shard buffers
+    state.PauseTiming();
+    collect_batch();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kShardedBatch);
+}
+void BM_ShardedPutStriped(benchmark::State& state) {
+  BM_ShardedPut(state, 1);
+}
+void BM_ShardedPutContended(benchmark::State& state) {
+  BM_ShardedPut(
+      state,
+      static_cast<CheckpointIndex>(
+          ckpt::ShardedCheckpointStore::kDefaultShardCount));
+}
+BENCHMARK(BM_ShardedPutStriped)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(BM_ShardedPutContended)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_ShardedCollect(benchmark::State& state, CheckpointIndex stride) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::ShardedCheckpointStore store(0);
+  causality::DependencyVector dv(n);
+  auto put_batch = [&] {
+    CheckpointIndex next = 0;
+    for (int k = 0; k < kShardedBatch; ++k, next += stride)
+      store.put(next, dv, 0, 1);
+  };
+  put_batch();
+  for (auto _ : state) {
+    // Oldest-first elimination order, as collectors produce: the contended
+    // stripe pays a long erase-shift per collect, the striped ones short.
+    CheckpointIndex next = 0;
+    for (int k = 0; k < kShardedBatch; ++k, next += stride)
+      store.collect(next);
+    state.PauseTiming();
+    put_batch();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kShardedBatch);
+}
+void BM_ShardedCollectStriped(benchmark::State& state) {
+  BM_ShardedCollect(state, 1);
+}
+void BM_ShardedCollectContended(benchmark::State& state) {
+  BM_ShardedCollect(
+      state,
+      static_cast<CheckpointIndex>(
+          ckpt::ShardedCheckpointStore::kDefaultShardCount));
+}
+BENCHMARK(BM_ShardedCollectStriped)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(BM_ShardedCollectContended)->Arg(4)->Arg(64)->Arg(256);
+
+void rollback_setup(std::size_t n, ckpt::ShardedCheckpointStore& store,
                     core::RdtLgc& lgc) {
   lgc.initialize(0, n, store);
   for (std::size_t k = 0; k < n; ++k) {
@@ -185,7 +274,7 @@ void rollback_setup(std::size_t n, ckpt::CheckpointStore& store,
 void BM_RollbackRebuild(benchmark::State& state, core::RdtLgc::RollbackSearch
                                                      search) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   core::RdtLgc lgc(search);
   rollback_setup(n, store, lgc);
   causality::DependencyVector dv(n);

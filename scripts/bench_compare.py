@@ -16,7 +16,8 @@ import re
 import sys
 
 # Families tracked for regressions (the hot paths this repo optimizes for).
-TRACKED = re.compile(r"^(BM_DvMerge|BM_ReceivePath|BM_RollbackBinary)\b")
+TRACKED = re.compile(
+    r"^(BM_DvMerge|BM_ReceivePath|BM_RollbackBinary)\b|^BM_Sharded")
 
 
 def load(path):
@@ -70,7 +71,7 @@ def main():
     else:
         print("\nno tracked regressions above "
               f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
-              "BM_RollbackBinary)")
+              "BM_RollbackBinary, BM_Sharded*)")
     return 0
 
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs-consistency check: every repo path referenced by the architecture
+# docs (and the README's layout/docs links) must still exist, so
+# docs/PAPER_MAP.md cannot silently rot as files move.  Run from anywhere;
+# exits non-zero listing each dangling reference (as GitHub error
+# annotations when running in Actions).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+docs=(docs/ARCHITECTURE.md docs/PAPER_MAP.md README.md)
+
+fail=0
+for doc in "${docs[@]}"; do
+  if [[ ! -f "${repo_root}/${doc}" ]]; then
+    echo "::error file=${doc}::missing documentation file ${doc}"
+    fail=1
+    continue
+  fi
+  # Path-like tokens: a known top-level directory, a slash, then a plain
+  # file/directory path.  Trailing punctuation from prose is stripped, and
+  # the lookbehind rejects substrings of longer paths (e.g. the
+  # bench/tabd_micro inside a ./out/bench/... build path).
+  # `|| true`: a doc with zero path references is fine (grep exits 1 on no
+  # match, which pipefail would otherwise turn into a silent abort).
+  refs="$(grep -oP '(?<![\w/.-])(src|tests|bench|examples|scripts|cmake|docs|workload)/[A-Za-z0-9_./*-]*[A-Za-z0-9_/*-]' \
+            "${repo_root}/${doc}" | sort -u || true)"
+  while IFS= read -r ref; do
+    [[ -z "${ref}" ]] && continue
+    if [[ "${ref}" == *'*'* ]]; then
+      # Glob reference (e.g. bench/fig*): require at least one match.
+      if ! compgen -G "${repo_root}/${ref}" > /dev/null; then
+        echo "::error file=${doc}::${doc} references '${ref}', which matches nothing"
+        fail=1
+      fi
+      continue
+    fi
+    if [[ ! -e "${repo_root}/${ref}" ]]; then
+      echo "::error file=${doc}::${doc} references '${ref}', which does not exist"
+      fail=1
+    fi
+  done <<< "${refs}"
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "docs-consistency check FAILED: fix the dangling references above" >&2
+  exit 1
+fi
+echo "docs-consistency check passed (${docs[*]})"

@@ -10,6 +10,13 @@
 // and every lookup is a binary search over a contiguous array.  With RDT-LGC
 // at most n+1 checkpoints are live, so erase shifts are tiny and the
 // GC-elimination path never allocates.
+//
+// This flat store is also the building block and reference implementation of
+// the index-striped ShardedCheckpointStore (sharded_checkpoint_store.hpp):
+// each stripe there is one of these, and tests/store_test.cpp property-tests
+// the two for observable equivalence.  Nodes hold the sharded store; use
+// this one directly for single-stripe scenarios and as the equivalence
+// oracle.
 #pragma once
 
 #include <cstdint>
@@ -34,11 +41,13 @@ class CheckpointStore {
  public:
   explicit CheckpointStore(ProcessId owner) : owner_(owner) {}
 
+  /// Owning process id.  O(1), never allocates.
   ProcessId owner() const { return owner_; }
 
   /// Store a new checkpoint; indices arrive in strictly increasing order
   /// within a lineage (rollback may reintroduce previously-used indices
-  /// after discard_after()).
+  /// after discard_after()).  Amortized allocation-free: push_back only,
+  /// no heap traffic once the vectors reached steady-state capacity.
   void put(StoredCheckpoint checkpoint);
 
   /// Copy-in variant for the hot checkpoint path: the dependency vector is
@@ -47,9 +56,11 @@ class CheckpointStore {
   void put(CheckpointIndex index, const causality::DependencyVector& dv,
            SimTime stored_at, std::uint64_t bytes);
 
+  /// Membership test; one binary search.  Never allocates.
   bool contains(CheckpointIndex index) const;
   /// Reference into the flat store — invalidated by the next mutation
-  /// (put/collect/discard_after); copy before interleaving.
+  /// (put/collect/discard_after); copy before interleaving.  Never
+  /// allocates; throws ContractViolation when absent.
   const StoredCheckpoint& get(CheckpointIndex index) const;
 
   /// Garbage-collection elimination of an obsolete checkpoint.
@@ -57,7 +68,8 @@ class CheckpointStore {
   void collect(CheckpointIndex index);
 
   /// Rollback discard of every checkpoint with index > ri (Algorithm 3
-  /// line 4).  Returns how many were discarded.
+  /// line 4).  Returns how many were discarded.  Allocation-free (suffix
+  /// resize only).
   std::size_t discard_after(CheckpointIndex ri);
 
   /// Currently stored indices, ascending.  O(1): a live view of the store's
@@ -68,9 +80,12 @@ class CheckpointStore {
   }
 
   /// Highest stored index; store is never empty after the initial checkpoint.
+  /// O(1), never allocates; throws ContractViolation on an empty store.
   CheckpointIndex last_index() const;
 
+  /// Live checkpoints.  O(1), never allocates.
   std::size_t count() const { return indices_.size(); }
+  /// Bytes currently held.  O(1), never allocates.
   std::uint64_t bytes() const { return bytes_; }
 
   struct Stats {
@@ -80,6 +95,7 @@ class CheckpointStore {
     std::size_t peak_count = 0;    ///< max simultaneous checkpoints
     std::uint64_t peak_bytes = 0;
   };
+  /// Lifetime counters (see Stats fields).  O(1), never allocates.
   const Stats& stats() const { return stats_; }
 
  private:

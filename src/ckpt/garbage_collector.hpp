@@ -15,7 +15,7 @@
 
 #include "causality/dependency_vector.hpp"
 #include "causality/types.hpp"
-#include "ckpt/checkpoint_store.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
 
 namespace rdtgc::ckpt {
 
@@ -34,11 +34,14 @@ class GarbageCollector {
   virtual ~GarbageCollector() = default;
 
   /// Wire the collector to its process.  Called once, before the initial
-  /// checkpoint is stored.
+  /// checkpoint is stored.  May allocate (one-time setup); the store
+  /// reference must outlive the collector.
   virtual void initialize(ProcessId self, std::size_t process_count,
-                          CheckpointStore& store) = 0;
+                          ShardedCheckpointStore& store) = 0;
 
   /// Algorithm 2 "on receiving m": DV[j] was just raised by a message.
+  /// Implementations must be allocation-free in steady state (this sits on
+  /// the receive hot path).
   virtual void on_new_dependency(ProcessId j) = 0;
 
   /// Batched form of on_new_dependency: one delivery raised every entry in
@@ -46,31 +49,35 @@ class GarbageCollector {
   /// forwards per id; collectors with a coalesced allocation-free path
   /// (RDT-LGC) override it.  This is the entry point the middleware's
   /// delivery handler drives; the per-id hook remains as the reference
-  /// implementation.
+  /// implementation.  Overrides must be allocation-free in steady state.
   virtual void on_new_dependencies(std::span<const ProcessId> changed);
 
   /// Algorithm 2 "on taking checkpoint": checkpoint `index` (== DV[self] at
   /// call time) was just stored; called before DV[self] is incremented.
+  /// Allocation-free in steady state (checkpoint hot path).
   virtual void on_checkpoint_stored(CheckpointIndex index) = 0;
 
   /// Algorithm 3: this process rolled back.  `dv` is the already-restored
-  /// dependency vector (DV(s^RI) with DV[self] incremented).
+  /// dependency vector (DV(s^RI) with DV[self] incremented).  Rollback is
+  /// off the hot path; implementations may allocate.
   virtual void on_rollback(const RollbackInfo& info,
                            const causality::DependencyVector& dv) = 0;
 
   /// Recovery session in which this process did NOT roll back (its volatile
   /// state is part of the recovery line): with global information the paper
   /// lets it release every UC[f] with DV[f] < LI[f].  Default: no-op.
+  /// Off the hot path; may allocate.
   virtual void on_peer_recovery(const std::vector<IntervalIndex>& li,
                                 const causality::DependencyVector& dv);
 
+  /// Human-readable policy name for tables and logs.  Allocates the string.
   virtual std::string name() const = 0;
 };
 
 /// Baseline that never collects anything.
 class NoGc final : public GarbageCollector {
  public:
-  void initialize(ProcessId, std::size_t, CheckpointStore&) override {}
+  void initialize(ProcessId, std::size_t, ShardedCheckpointStore&) override {}
   void on_new_dependency(ProcessId) override {}
   void on_new_dependencies(std::span<const ProcessId>) override {}
   void on_checkpoint_stored(CheckpointIndex) override {}

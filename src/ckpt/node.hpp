@@ -26,8 +26,8 @@
 #include "causality/dependency_vector.hpp"
 #include "causality/types.hpp"
 #include "ccp/recorder.hpp"
-#include "ckpt/checkpoint_store.hpp"
 #include "ckpt/garbage_collector.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
 #include "ckpt/protocol.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -94,8 +94,8 @@ class Node {
   CheckpointIndex last_checkpoint_index() const { return dv_[self_] - 1; }
   bool sent_since_checkpoint() const { return sent_since_checkpoint_; }
 
-  CheckpointStore& store() { return store_; }
-  const CheckpointStore& store() const { return store_; }
+  ShardedCheckpointStore& store() { return store_; }
+  const ShardedCheckpointStore& store() const { return store_; }
   GarbageCollector& gc() { return *gc_; }
   const GarbageCollector& gc() const { return *gc_; }
   const CheckpointingProtocol& protocol() const { return *protocol_; }
@@ -112,7 +112,7 @@ class Node {
   std::unique_ptr<CheckpointingProtocol> protocol_;
   std::unique_ptr<GarbageCollector> gc_;
   Config config_;
-  CheckpointStore store_;
+  ShardedCheckpointStore store_;
   causality::DependencyVector dv_;
   /// Reusable merge output; pre-sized at construction so the steady-state
   /// delivery handler never allocates.

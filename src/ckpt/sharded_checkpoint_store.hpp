@@ -1,0 +1,156 @@
+// Index-striped sharding of the per-process stable-storage model.
+//
+// The flat CheckpointStore keeps every live checkpoint in one pair of
+// parallel vectors, so every collector mutation — asynchronous RDT-LGC
+// eliminations, synchronous rounds, timed sweeps — serializes on the same
+// contiguous array and the same spare-buffer recycler.  This store splits
+// the index space into a power-of-two number of stripes (default 8), each
+// stripe a self-contained CheckpointStore with its own flat index/payload
+// vectors, its own cached stored_indices() view, and its own recycled
+// spare-DV buffer, so the expensive per-mutation work — erase shifts,
+// binary searches, spare-buffer reuse — of independent collectors lands on
+// disjoint stripes and disjoint cache lines.  The global bookkeeping
+// (count/bytes/stats, the merged-view dirty flag) is still shared mutable
+// state: before the ROADMAP's multi-threaded simulation can drive this
+// concurrently it must become per-shard or atomic, and the lazily rebuilt
+// merged cache below must be guarded — stored_indices() is const but not
+// thread-safe.
+//
+// Stripe function: shard = index & (shard_count - 1), i.e. the LOW bits of
+// the checkpoint index.  The tradeoff against contiguous index ranges:
+//  * Under RDT-LGC the live set is a sliding window of the most recent ≤ n
+//    indices (§4.5), so low-bit striping round-robins consecutive
+//    checkpoints across every shard — the live window is spread evenly and
+//    concurrent collectors working near the window's head land on distinct
+//    shards.  A contiguous-range split would concentrate the entire live
+//    window inside one stripe and re-serialize everything on it.
+//  * The cost is that the globally-ordered view interleaves all shards; we
+//    pay for it once per mutation batch with a lazily rebuilt merged cache
+//    (see stored_indices()) instead of on every put/collect.
+//
+// Public interface and contracts are identical to CheckpointStore (the flat
+// store remains as the single-stripe reference implementation; the two are
+// property-tested for observable equivalence in tests/store_test.cpp), plus
+// shard introspection used by tests, benches, and the architecture docs.
+//
+// Per-shard recycler invariant: a collect() recycles the dead checkpoint's
+// DV buffer into the *owning shard's* spare, and a copy-in put() consumes
+// the spare of the shard the new index maps to.  Steady-state churn under
+// RDT-LGC stores index k (shard k & mask) and eliminates an index a fixed
+// distance behind (same stripe sequence), so after one warm-up lap across
+// the stripes every shard's spare is primed and the cycle never allocates —
+// the contract tests/hot_path_test.cpp enforces per shard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "causality/dependency_vector.hpp"
+#include "causality/types.hpp"
+#include "ckpt/checkpoint_store.hpp"
+
+namespace rdtgc::ckpt {
+
+class ShardedCheckpointStore {
+ public:
+  /// Default stripe count; power of two so shard_of() is a mask, sized so a
+  /// handful of concurrent collectors rarely collide (ROADMAP: sharded
+  /// store as the prerequisite for multi-threaded simulation).
+  static constexpr std::size_t kDefaultShardCount = 8;
+
+  /// `shard_count` must be a power of two (>= 1); one stripe degenerates to
+  /// the flat store.  Allocates the stripes; everything after construction
+  /// follows the per-method allocation contracts below.
+  explicit ShardedCheckpointStore(
+      ProcessId owner, std::size_t shard_count = kDefaultShardCount);
+
+  /// Owning process id.  O(1), never allocates.
+  ProcessId owner() const { return owner_; }
+
+  /// Store a new checkpoint; indices arrive in strictly increasing order
+  /// within a lineage (rollback may reintroduce previously-used indices
+  /// after discard_after()).  Amortized allocation-free once the owning
+  /// shard's vectors reached steady-state capacity.
+  void put(StoredCheckpoint checkpoint);
+
+  /// Copy-in variant for the hot checkpoint path: the dependency vector is
+  /// copied into the owning shard's spare buffer (recycled by that shard's
+  /// most recent collect()), so steady-state checkpoint-and-collect churn
+  /// never touches the heap once every stripe's spare is primed.
+  void put(CheckpointIndex index, const causality::DependencyVector& dv,
+           SimTime stored_at, std::uint64_t bytes);
+
+  /// Membership test; one binary search inside the owning shard.  Never
+  /// allocates.
+  bool contains(CheckpointIndex index) const;
+
+  /// Reference into the owning shard's flat storage — invalidated by the
+  /// next mutation (put/collect/discard_after); copy before interleaving.
+  /// Never allocates.
+  const StoredCheckpoint& get(CheckpointIndex index) const;
+
+  /// Garbage-collection elimination of an obsolete checkpoint.  Shard-local:
+  /// erase-shifts and the recycled spare stay inside the owning stripe.
+  /// Allocation-free.
+  void collect(CheckpointIndex index);
+
+  /// Rollback discard of every checkpoint with index > ri (Algorithm 3
+  /// line 4), applied to each shard's suffix.  Returns how many were
+  /// discarded.  Allocation-free.
+  std::size_t discard_after(CheckpointIndex ri);
+
+  /// Currently stored indices, ascending across ALL shards — the coherent
+  /// global view.  Lazily rebuilt from the per-shard indices after a
+  /// mutation, then cached: repeated reads are O(1) and allocation-free
+  /// once the cache capacity is warm.  The reference is invalidated by the
+  /// next mutation — snapshot (copy) before interleaving with
+  /// put/collect/discard_after.
+  const std::vector<CheckpointIndex>& stored_indices() const;
+
+  /// Highest stored index across shards; store is never empty after the
+  /// initial checkpoint.  O(shard_count), never allocates.
+  CheckpointIndex last_index() const;
+
+  /// Live checkpoints across all shards.  O(1), never allocates.
+  std::size_t count() const { return count_; }
+  /// Bytes held across all shards.  O(1), never allocates.
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Global counters, aggregated across shards exactly as the flat store
+  /// counts them (peaks are peaks of the global occupancy, not sums of
+  /// per-shard peaks).  O(1), never allocates.
+  using Stats = CheckpointStore::Stats;
+  const Stats& stats() const { return stats_; }
+
+  // ---- Shard introspection (tests, benches, docs) ----
+
+  /// Number of stripes.  O(1), never allocates.
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Stripe an index maps to: low bits, index & (shard_count - 1).
+  std::size_t shard_of(CheckpointIndex index) const {
+    return static_cast<std::size_t>(index) & mask_;
+  }
+  /// Read-only view of one stripe (its flat vectors, per-shard stats, and
+  /// live stored_indices()).  Never allocates.
+  const CheckpointStore& shard(std::size_t s) const { return shards_[s]; }
+
+ private:
+  CheckpointStore& shard_for(CheckpointIndex index) {
+    return shards_[shard_of(index)];
+  }
+  /// Global bookkeeping shared by both put overloads, after the shard
+  /// accepted the checkpoint.
+  void note_put(std::uint64_t bytes);
+
+  ProcessId owner_;
+  std::size_t mask_;                    // shard_count - 1
+  std::vector<CheckpointStore> shards_;  // each stripe is a flat store
+  std::size_t count_ = 0;
+  std::uint64_t bytes_ = 0;
+  Stats stats_;
+  /// Cached ascending merge of every shard's indices; rebuilt lazily.
+  mutable std::vector<CheckpointIndex> merged_;
+  mutable bool merged_dirty_ = true;
+};
+
+}  // namespace rdtgc::ckpt

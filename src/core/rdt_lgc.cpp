@@ -7,7 +7,7 @@
 namespace rdtgc::core {
 
 void RdtLgc::initialize(ProcessId self, std::size_t process_count,
-                        ckpt::CheckpointStore& store) {
+                        ckpt::ShardedCheckpointStore& store) {
   RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
   RDTGC_EXPECTS(!uc_.has_value());  // initialize exactly once
   self_ = self;
@@ -77,9 +77,10 @@ void RdtLgc::on_rollback(const ckpt::RollbackInfo& info,
   RDTGC_EXPECTS(store_->last_index() == info.restored_index);
 
   // Algorithm 3 line 7: rebuild the CCBs from the surviving storage.
-  // stored_indices() is the store's live flat index (no copy); `stored` and
-  // the `dvs` pointers are only valid until drop_zero_count() below starts
-  // eliminating, which is after their last use.
+  // stored_indices() is the store's cached cross-shard merged view (no
+  // per-call copy); `stored` and the `dvs` pointers are only valid until
+  // drop_zero_count() below starts eliminating, which is after their last
+  // use.
   uc_->clear();
   const std::vector<CheckpointIndex>& stored = store_->stored_indices();
   std::vector<const causality::DependencyVector*> dvs;

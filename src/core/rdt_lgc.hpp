@@ -40,7 +40,7 @@ class RdtLgc final : public ckpt::GarbageCollector {
       : search_(search) {}
 
   void initialize(ProcessId self, std::size_t process_count,
-                  ckpt::CheckpointStore& store) override;
+                  ckpt::ShardedCheckpointStore& store) override;
   /// Per-peer reference implementation of the Algorithm-2 receive update;
   /// the middleware drives the batched on_new_dependencies instead.
   void on_new_dependency(ProcessId j) override;
@@ -72,7 +72,7 @@ class RdtLgc final : public ckpt::GarbageCollector {
   RollbackSearch search_;
   ProcessId self_ = -1;
   std::size_t n_ = 0;
-  ckpt::CheckpointStore* store_ = nullptr;
+  ckpt::ShardedCheckpointStore* store_ = nullptr;
   std::optional<UcTable> uc_;
   std::uint64_t collected_ = 0;
 };

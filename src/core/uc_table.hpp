@@ -33,22 +33,26 @@ class UcTable {
   /// elimination is a storage action, not a table action).
   using EliminateFn = std::function<void(CheckpointIndex)>;
 
+  /// Sizes UC for `process_count` entries and reserves the n+1 CCB capacity
+  /// up front (the one-time allocations; every Algorithm-1/2 procedure
+  /// below is then allocation-free in steady state).
   UcTable(std::size_t process_count, EliminateFn eliminate);
 
   // ---- Algorithm 1 procedures ----
 
   /// `release(j)`: drop UC[j]'s reference; eliminate the checkpoint if the
-  /// count reaches zero.
+  /// count reaches zero.  O(log n) lookup + contiguous erase; never
+  /// allocates.
   void release(ProcessId j);
 
   /// `link(j, i)`: make UC[j] reference the same CCB as UC[i] (which must be
   /// set) and increment its count.  Precondition: UC[j] is Null (callers
-  /// release(j) first, as Algorithm 2 does).
+  /// release(j) first, as Algorithm 2 does).  Never allocates.
   void link(ProcessId j, ProcessId i);
 
   /// `newCCB(j, ind)`: create a CCB for checkpoint `ind` with count 1 and
   /// make UC[j] reference it.  Precondition: UC[j] is Null and no CCB for
-  /// `ind` exists.
+  /// `ind` exists.  Allocation-free within the reserved n+1 capacity.
   void new_ccb(ProcessId j, CheckpointIndex index);
 
   // ---- Batched Algorithm 2 receive handler ----
@@ -66,26 +70,33 @@ class UcTable {
 
   /// Forget every entry and CCB without eliminating anything (the rolled-
   /// back storage state is rebuilt from scratch, Algorithm 3 line 7).
+  /// Never allocates (capacity is kept).
   void clear();
 
-  /// Register a CCB with count 0 (Algorithm 3 line 7).
+  /// Register a CCB with count 0 (Algorithm 3 line 7).  Allocation-free
+  /// within the reserved capacity.
   void add_ccb(CheckpointIndex index);
 
   /// UC[f] <- CCB of `index`; count++ (Algorithm 3 lines 11-12).
-  /// Precondition: UC[f] is Null and the CCB exists.
+  /// Precondition: UC[f] is Null and the CCB exists.  Never allocates.
   void reference(ProcessId f, CheckpointIndex index);
 
   /// Eliminate every checkpoint whose count is 0 (Algorithm 3 lines 15-17).
+  /// Never allocates (the eliminate callback may).
   void drop_zero_count();
 
   // ---- Introspection ----
 
+  /// Checkpoint UC[j] references, or nullopt for Null.  Never allocates.
   std::optional<CheckpointIndex> entry(ProcessId j) const;
-  /// Reference count of the CCB for `index` (0 if no such CCB).
+  /// Reference count of the CCB for `index` (0 if no such CCB).  Never
+  /// allocates.
   int ref_count(CheckpointIndex index) const;
   /// Distinct checkpoints currently referenced by a CCB, ascending.
+  /// Allocates the returned vector (debug/test path, not the hot path).
   std::vector<CheckpointIndex> tracked_checkpoints() const;
-  /// Render like the paper's Figure 4: "(0, 3, *)" (* = Null).
+  /// Render like the paper's Figure 4: "(0, 3, *)" (* = Null).  Allocates
+  /// the string (debug/test path).
   std::string to_string() const;
 
  private:

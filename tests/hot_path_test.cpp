@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "causality/dependency_vector.hpp"
-#include "ckpt/checkpoint_store.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
 #include "core/rdt_lgc.hpp"
 #include "core/uc_table.hpp"
 #include "harness/system.hpp"
@@ -216,7 +216,7 @@ TEST(HotPathUcTable, RebindContractViolations) {
 // ---- RdtLgc::on_new_dependencies vs on_new_dependency --------------------
 
 struct LgcRig {
-  ckpt::CheckpointStore store;
+  ckpt::ShardedCheckpointStore store;
   core::RdtLgc lgc;
   causality::DependencyVector dv;
 
@@ -313,23 +313,65 @@ TEST(HotPathAllocations, SteadyStateBatchedReceiveIsAllocationFree) {
     rig.dv.merge_into(msg, changed);
     rig.lgc.on_new_dependencies(changed.span());
   };
-  // Warm-up: bind every UC entry, fill the scratch buffer, and run one full
-  // checkpoint+receive cycle so the store's recycled DV buffer is primed.
+  // Warm-up: bind every UC entry, fill the scratch buffer, and run enough
+  // checkpoint+receive cycles to lap every stripe of the sharded store
+  // twice — consecutive indices round-robin across the shards, so each
+  // shard's recycled spare DV buffer and flat-vector capacity is primed
+  // before the measured window starts.
   receive_all();
-  rig.checkpoint(self);
-  receive_all();
+  for (std::size_t lap = 0; lap < 2 * rig.store.shard_count(); ++lap) {
+    rig.checkpoint(self);
+    receive_all();
+  }
 
   const std::uint64_t before = g_allocation_count.load();
   for (int round = 0; round < 100; ++round) {
     // Full steady-state cycle: store a checkpoint (copy-in put into the
-    // recycled buffer), then a worst-case receive that rebinds all n-1
-    // peers and eliminates the abandoned checkpoint through the store.
+    // owning shard's recycled buffer), then a worst-case receive that
+    // rebinds all n-1 peers and eliminates the abandoned checkpoint
+    // through the store.
     rig.checkpoint(self);
     receive_all();
   }
   EXPECT_EQ(g_allocation_count.load() - before, 0u)
       << "steady-state checkpoint/receive churn touched the heap";
   EXPECT_GE(rig.lgc.collected(), 100u);  // eliminations did happen
+}
+
+// ---- Zero allocations per shard of the sharded store ---------------------
+
+TEST(HotPathAllocations, ShardedStoreChurnIsAllocationFreePerShard) {
+  // Drive the store directly (no GC) through the put/collect churn every
+  // collector produces, spread across all stripes, and require that once
+  // every shard's spare buffer and vector capacity is warm the churn —
+  // including the lazily rebuilt cross-shard stored_indices() view — never
+  // touches the heap.
+  const std::size_t n = 32;
+  ckpt::ShardedCheckpointStore store(0);
+  causality::DependencyVector dv(n);
+  const CheckpointIndex window =
+      static_cast<CheckpointIndex>(2 * store.shard_count());
+  CheckpointIndex next = 0;
+  // Warm-up lap: fill a window covering every shard twice, then collect one
+  // lap so each shard has recycled a spare and the merged cache is sized.
+  for (; next < window; ++next) store.put(next, dv, 0, 1);
+  for (CheckpointIndex g = 0; g < window / 2; ++g) store.collect(g);
+  (void)store.stored_indices();
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (int round = 0; round < 200; ++round) {
+    store.put(next, dv, 0, 1);  // copy-in put: the shard's recycled buffer
+    store.collect(next - window / 2);
+    ASSERT_FALSE(store.stored_indices().empty());
+    ++next;
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "sharded steady-state put/collect churn touched the heap";
+  // The churn really exercised every stripe's recycler, not just one.
+  for (std::size_t s = 0; s < store.shard_count(); ++s) {
+    EXPECT_GT(store.shard(s).stats().stored, 0u) << "shard " << s;
+    EXPECT_GT(store.shard(s).stats().collected, 0u) << "shard " << s;
+  }
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 #include <tuple>
 
 #include "ccp/analysis.hpp"
-#include "ckpt/checkpoint_store.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
 #include "ckpt/garbage_collector.hpp"
 #include "core/rdt_lgc.hpp"
 #include "harness/scenario.hpp"
@@ -110,7 +110,7 @@ TEST(RdtLgc, BatchedDependenciesPinAndCollectLikePerPeerCalls) {
   // Drive the Algorithm-2 events directly: a batch of new dependencies pins
   // the last checkpoint once per peer, and abandoning a checkpoint through a
   // later batch collects it — identical to the per-peer hook sequence.
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   core::RdtLgc lgc;
   causality::DependencyVector dv(4);
   lgc.initialize(0, 4, store);
@@ -137,7 +137,7 @@ TEST(RdtLgc, BatchedHookBeforeInitializeRejected) {
 
 TEST(RdtLgc, InitializeTwiceRejected) {
   core::RdtLgc lgc;
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   lgc.initialize(0, 2, store);
   EXPECT_THROW(lgc.initialize(0, 2, store), util::ContractViolation);
 }
@@ -264,7 +264,7 @@ TEST(RdtLgc, MessageLossDelaysButNeverBreaksCollection) {
 // including ones whose policy ignores peer recovery entirely.
 TEST(GarbageCollectorHooks, BasePeerRecoveryIsANoOp) {
   ckpt::NoGc gc;
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   gc.initialize(0, 2, store);
   const std::vector<IntervalIndex> li{1, 1};
   const causality::DependencyVector dv(2);
@@ -273,13 +273,13 @@ TEST(GarbageCollectorHooks, BasePeerRecoveryIsANoOp) {
 
 TEST(RdtLgc, InitializeRejectsDoubleInitialization) {
   core::RdtLgc lgc;
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   lgc.initialize(0, 2, store);
   EXPECT_THROW(lgc.initialize(0, 2, store), util::ContractViolation);
 }
 
 TEST(RdtLgc, InitializeRejectsOutOfRangeProcessId) {
-  ckpt::CheckpointStore store(0);
+  ckpt::ShardedCheckpointStore store(0);
   core::RdtLgc negative;
   EXPECT_THROW(negative.initialize(-1, 2, store), util::ContractViolation);
   core::RdtLgc beyond_count;

@@ -1,8 +1,16 @@
-// Unit tests for the stable-storage model (ckpt::CheckpointStore).
+// Unit tests for the stable-storage model: the flat ckpt::CheckpointStore,
+// the index-striped ckpt::ShardedCheckpointStore, and a randomized-trace
+// property test that the two stay observably equivalent (the flat store is
+// the sharded store's reference implementation).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "ckpt/checkpoint_store.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace rdtgc::ckpt {
 namespace {
@@ -122,6 +130,185 @@ TEST(CheckpointStore, StoredCountAccumulates) {
   store.collect(0);
   store.put(make(2));
   EXPECT_EQ(store.stats().stored, 3u);
+}
+
+// ---- ShardedCheckpointStore ----------------------------------------------
+
+TEST(ShardedCheckpointStore, StripeFunctionUsesLowBits) {
+  ShardedCheckpointStore store(0);
+  ASSERT_EQ(store.shard_count(), ShardedCheckpointStore::kDefaultShardCount);
+  EXPECT_EQ(store.shard_of(0), 0u);
+  EXPECT_EQ(store.shard_of(7), 7u);
+  EXPECT_EQ(store.shard_of(8), 0u);
+  EXPECT_EQ(store.shard_of(13), 5u);
+}
+
+TEST(ShardedCheckpointStore, ShardCountMustBePowerOfTwo) {
+  EXPECT_THROW(ShardedCheckpointStore(0, 0), util::ContractViolation);
+  EXPECT_THROW(ShardedCheckpointStore(0, 3), util::ContractViolation);
+  EXPECT_THROW(ShardedCheckpointStore(0, 12), util::ContractViolation);
+  EXPECT_NO_THROW(ShardedCheckpointStore(0, 1));  // degenerates to flat
+  EXPECT_NO_THROW(ShardedCheckpointStore(0, 16));
+}
+
+TEST(ShardedCheckpointStore, IndexZeroLandsInShardZero) {
+  ShardedCheckpointStore store(0);
+  store.put(make(0, 5));
+  EXPECT_TRUE(store.contains(0));
+  EXPECT_EQ(store.get(0).bytes, 5u);
+  EXPECT_EQ(store.shard(0).count(), 1u);
+  for (std::size_t s = 1; s < store.shard_count(); ++s)
+    EXPECT_EQ(store.shard(s).count(), 0u) << "shard " << s;
+  EXPECT_EQ(store.last_index(), 0);
+}
+
+TEST(ShardedCheckpointStore, MaxIndexMapsIntoRangeAndIsRetrievable) {
+  ShardedCheckpointStore store(0);
+  const CheckpointIndex max = std::numeric_limits<CheckpointIndex>::max();
+  store.put(make(0));
+  store.put(make(max, 3));
+  ASSERT_LT(store.shard_of(max), store.shard_count());
+  EXPECT_TRUE(store.contains(max));
+  EXPECT_EQ(store.get(max).bytes, 3u);
+  EXPECT_EQ(store.last_index(), max);
+  EXPECT_EQ(store.stored_indices(),
+            (std::vector<CheckpointIndex>{0, max}));
+  EXPECT_THROW(store.put(make(max)), util::ContractViolation);
+}
+
+TEST(ShardedCheckpointStore, CollectCanEmptyExactlyOneShard) {
+  ShardedCheckpointStore store(0);
+  // One checkpoint per shard plus a second lap into shard 0.
+  const auto count = static_cast<CheckpointIndex>(store.shard_count());
+  for (CheckpointIndex i = 0; i <= count; ++i) store.put(make(i));
+  store.collect(3);  // shard 3 held exactly one checkpoint
+  EXPECT_EQ(store.shard(3).count(), 0u);
+  EXPECT_FALSE(store.contains(3));
+  EXPECT_EQ(store.count(), static_cast<std::size_t>(count));
+  EXPECT_EQ(store.last_index(), count);
+  // Every other shard is untouched.
+  EXPECT_EQ(store.shard(0).count(), 2u);
+  for (std::size_t s = 1; s < store.shard_count(); ++s)
+    if (s != 3) EXPECT_EQ(store.shard(s).count(), 1u) << "shard " << s;
+  // The emptied shard's spare still recycles into the next lap's put.
+  store.put(static_cast<CheckpointIndex>(count + 3), make(0).dv, 0, 1);
+  EXPECT_EQ(store.shard(3).count(), 1u);
+}
+
+TEST(ShardedCheckpointStore, StoredIndicesStaysCoherentAcrossShards) {
+  // Regression: the cross-shard view must always equal the ascending union
+  // of the per-shard live views, through puts, collects, and discards that
+  // interleave the stripes in every order.
+  ShardedCheckpointStore store(0);
+  auto expect_coherent = [&] {
+    std::vector<CheckpointIndex> expected;
+    for (std::size_t s = 0; s < store.shard_count(); ++s)
+      expected.insert(expected.end(), store.shard(s).stored_indices().begin(),
+                      store.shard(s).stored_indices().end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(store.stored_indices(), expected);
+    ASSERT_TRUE(std::is_sorted(store.stored_indices().begin(),
+                               store.stored_indices().end()));
+    ASSERT_EQ(store.count(), expected.size());
+  };
+  for (CheckpointIndex i = 0; i < 20; ++i) {
+    store.put(make(i));
+    expect_coherent();
+  }
+  for (const CheckpointIndex g : {0, 9, 17, 3, 11}) {
+    store.collect(g);
+    expect_coherent();
+  }
+  store.discard_after(12);
+  expect_coherent();
+  store.put(make(13));  // lineage restart after the rollback discard
+  expect_coherent();
+}
+
+TEST(ShardedCheckpointStore, CopyInPutRecyclesWithinTheOwningShard) {
+  ShardedCheckpointStore store(0);
+  causality::DependencyVector dv(3);
+  dv.at(1) = 4;
+  store.put(7, dv, 12, 9);
+  ASSERT_TRUE(store.contains(7));
+  EXPECT_EQ(store.get(7).dv, dv);
+  store.collect(7);  // recycles into shard 7's spare
+  dv.at(2) = 1;
+  store.put(15, dv, 13, 2);  // same stripe (15 & 7 == 7): reuses the spare
+  EXPECT_EQ(store.get(15).dv, dv);
+  dv.at(0) = 99;
+  EXPECT_NE(store.get(15).dv, dv);  // copied, not aliased
+}
+
+// ---- Sharded vs flat equivalence under randomized traces ------------------
+
+/// Drives a flat reference store and a sharded store through an identical
+/// randomized put/collect/discard trace and requires every observable —
+/// membership, payloads, the ascending index view, counters, stats — to
+/// match after every step.  Run across shard counts bracketing the default
+/// (1 degenerates to flat-vs-flat, 16 leaves most stripes sparse).
+void run_equivalence_trace(std::size_t shard_count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CheckpointStore flat(3);
+  ShardedCheckpointStore sharded(3, shard_count);
+  CheckpointIndex next = 0;
+  std::vector<CheckpointIndex> live;
+
+  auto expect_equal = [&] {
+    ASSERT_EQ(sharded.stored_indices(), flat.stored_indices());
+    ASSERT_EQ(sharded.count(), flat.count());
+    ASSERT_EQ(sharded.bytes(), flat.bytes());
+    ASSERT_EQ(sharded.stats().stored, flat.stats().stored);
+    ASSERT_EQ(sharded.stats().collected, flat.stats().collected);
+    ASSERT_EQ(sharded.stats().discarded, flat.stats().discarded);
+    ASSERT_EQ(sharded.stats().peak_count, flat.stats().peak_count);
+    ASSERT_EQ(sharded.stats().peak_bytes, flat.stats().peak_bytes);
+    if (flat.count() > 0) ASSERT_EQ(sharded.last_index(), flat.last_index());
+    for (const CheckpointIndex g : flat.stored_indices()) {
+      ASSERT_TRUE(sharded.contains(g));
+      ASSERT_EQ(sharded.get(g).dv, flat.get(g).dv) << "index " << g;
+      ASSERT_EQ(sharded.get(g).bytes, flat.get(g).bytes) << "index " << g;
+      ASSERT_EQ(sharded.get(g).stored_at, flat.get(g).stored_at);
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform01();
+    if (live.empty() || dice < 0.55) {
+      // put: sometimes skip indices so stripes fill unevenly.
+      next += static_cast<CheckpointIndex>(1 + rng.uniform(3));
+      const auto bytes = static_cast<std::uint64_t>(1 + rng.uniform(8));
+      causality::DependencyVector dv(4);
+      dv.at(1) = next;
+      if (rng.bernoulli(0.5)) {
+        flat.put(StoredCheckpoint{next, dv, SimTime(step), bytes});
+        sharded.put(StoredCheckpoint{next, dv, SimTime(step), bytes});
+      } else {
+        flat.put(next, dv, SimTime(step), bytes);
+        sharded.put(next, dv, SimTime(step), bytes);
+      }
+      live.push_back(next);
+    } else if (dice < 0.9) {
+      // collect a random live checkpoint.
+      const std::size_t k = rng.uniform(live.size());
+      flat.collect(live[k]);
+      sharded.collect(live[k]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      // rollback discard after a random live checkpoint.
+      const CheckpointIndex ri = live[rng.uniform(live.size())];
+      ASSERT_EQ(sharded.discard_after(ri), flat.discard_after(ri));
+      std::erase_if(live, [ri](CheckpointIndex g) { return g > ri; });
+      next = ri;  // lineage restart: indices may be reused
+    }
+    expect_equal();
+  }
+}
+
+TEST(ShardedCheckpointStore, MatchesFlatStoreOnRandomizedTraces) {
+  run_equivalence_trace(1, 20260725);
+  run_equivalence_trace(ShardedCheckpointStore::kDefaultShardCount, 97);
+  run_equivalence_trace(16, 7);
 }
 
 }  // namespace
