@@ -1,12 +1,19 @@
 // T-B: RDT-LGC versus the synchronous collectors of the related work (§5)
 // and the Theorem-1 oracle.
 //
-// Same workload and seed for every strategy.  Reported: mean/final global
-// storage, checkpoints collected, control messages, and the optimality gap
-// against the instantaneous Theorem-1 oracle.  RDT-LGC's gap is exactly the
-// checkpoints whose obsolescence is not yet causally visible (Theorem 5 says
-// no asynchronous collector can do better); the synchronous collectors close
-// that gap by paying control traffic.
+// Same workloads and seed set for every strategy.  Each strategy is
+// evaluated over a multi-seed sweep driven through harness::FleetRunner, so
+// the sweep uses every core (--workers=0 selects the hardware concurrency);
+// per-seed simulations stay single-threaded and bit-for-bit deterministic,
+// and the cross-seed figures are RunningStat aggregates merged in seed
+// order.  Reported: mean/final global storage, checkpoints collected,
+// control messages, and the optimality gap against the instantaneous
+// Theorem-1 oracle — all as mean±stddev over the seeds.  RDT-LGC's gap is
+// exactly the checkpoints whose obsolescence is not yet causally visible
+// (Theorem 5 says no asynchronous collector can do better); the synchronous
+// collectors close that gap by paying control traffic.
+#include <cmath>
+#include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -14,6 +21,7 @@
 #include "ccp/precedence.hpp"
 #include "gc/oracle_gc.hpp"
 #include "gc/synchronous_gc.hpp"
+#include "harness/sweep.hpp"
 #include "harness/system.hpp"
 #include "metrics/storage_probe.hpp"
 #include "workload/workload.hpp"
@@ -22,17 +30,9 @@ using namespace rdtgc;
 
 namespace {
 
-struct Result {
-  std::string name;
-  double mean_storage = 0;
-  std::size_t final_storage = 0;
-  std::uint64_t collected = 0;
-  std::uint64_t control_messages = 0;
-  std::size_t oracle_final = 0;  // storage after a Theorem-1 sweep at the end
-};
-
-Result run_strategy(int strategy, std::size_t n, SimTime duration,
-                    std::uint64_t seed) {
+// SweepRun.extra carries the storage after a final Theorem-1 oracle sweep.
+harness::SweepRun run_strategy(int strategy, std::size_t n, SimTime duration,
+                               std::uint64_t seed) {
   harness::SystemConfig config;
   config.process_count = n;
   config.protocol = ckpt::ProtocolKind::kFdas;
@@ -71,58 +71,95 @@ Result run_strategy(int strategy, std::size_t n, SimTime duration,
   if (strategy == 4) system.simulator().after(50, tick);
   system.simulator().run();
 
-  Result result;
-  switch (strategy) {
-    case 0: result.name = "none"; break;
-    case 1: result.name = "RDT-LGC (asynchronous)"; break;
-    case 2: result.name = "coordinated-Wang95"; break;
-    case 3: result.name = "recovery-line"; break;
-    case 4: result.name = "oracle (Theorem 1)"; break;
-  }
-  result.mean_storage = probe.global_series().stat().mean();
-  result.final_storage = system.total_stored();
+  harness::SweepRun result;
+  result.storage = probe.global_series().stat();
+  result.final_storage = static_cast<double>(system.total_stored());
   result.collected = system.total_collected();
   if (sync) result.control_messages = sync->stats().control_messages;
   // Optimality gap: what a final instantaneous Theorem-1 sweep would remove.
   gc::OracleGcDriver final_sweep(system.recorder(), system.node_ptrs());
   final_sweep.sweep();
-  result.oracle_final = system.total_stored();
+  result.extra = static_cast<double>(system.total_stored());
   return result;
+}
+
+std::string strategy_name(int strategy) {
+  switch (strategy) {
+    case 0: return "none";
+    case 1: return "RDT-LGC (asynchronous)";
+    case 2: return "coordinated-Wang95";
+    case 3: return "recovery-line";
+    case 4: return "oracle (Theorem 1)";
+  }
+  return "?";
+}
+
+std::string mean_pm_stddev(const metrics::RunningStat& stat) {
+  char buffer[64];
+  // ASCII "+-": the table renderer pads by byte length, so a multi-byte
+  // glyph would skew the column alignment.
+  std::snprintf(buffer, sizeof buffer, "%.1f+-%.1f", stat.mean(),
+                stat.stddev());
+  return buffer;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Options options(argc, argv, {"n", "duration", "seed"});
+  const bench::Options options(argc, argv,
+                               {"n", "duration", "seed", "seeds", "workers"});
   const std::size_t n = options.u64("n", 8);
   const SimTime duration = options.u64("duration", 20000);
-  const std::uint64_t seed = options.u64("seed", 7);
+  const std::uint64_t base_seed = options.u64("seed", 7);
+  const std::size_t seed_count = options.u64("seeds", 8);
   bench::banner("T-B: garbage-collection strategies compared");
+
+  // One fleet for every strategy's sweep; 0 = all hardware threads.
+  harness::FleetRunner fleet(
+      {.workers = static_cast<std::size_t>(options.u64("workers", 0))});
+  const std::vector<std::uint64_t> seeds =
+      harness::seed_range(base_seed, seed_count);
 
   util::Table table({"strategy", "mean storage", "final storage", "collected",
                      "control msgs", "gap vs Thm-1 final"});
-  std::vector<Result> results;
+  // Per-strategy cross-seed aggregates, merged in seed order (determinism:
+  // identical figures for any --workers value).
+  std::vector<harness::SweepSummary> summaries;
+  std::vector<metrics::RunningStat> gaps;
   for (int strategy = 0; strategy <= 4; ++strategy) {
-    results.push_back(run_strategy(strategy, n, duration, seed));
-    const Result& r = results.back();
+    metrics::RunningStat gap;
+    const std::vector<harness::SweepRun> runs = harness::run_seed_sweep(
+        fleet, seeds, [&](std::uint64_t seed, harness::WorkerContext&) {
+          return run_strategy(strategy, n, duration, seed);
+        });
+    for (const harness::SweepRun& run : runs)
+      gap.add(run.final_storage - run.extra);
+    summaries.push_back(harness::summarize_sweep(runs));
+    gaps.push_back(gap);
+
+    const harness::SweepSummary& s = summaries.back();
     table.begin_row()
-        .add_cell(r.name)
-        .add_cell(r.mean_storage)
-        .add_cell(r.final_storage)
-        .add_cell(r.collected)
-        .add_cell(r.control_messages)
-        .add_cell(static_cast<std::uint64_t>(r.final_storage -
-                                             r.oracle_final));
+        .add_cell(strategy_name(strategy))
+        .add_cell(s.storage.mean())
+        .add_cell(mean_pm_stddev(s.final_storage))
+        .add_cell(mean_pm_stddev(s.collected))
+        .add_cell(mean_pm_stddev(s.control_messages))
+        .add_cell(mean_pm_stddev(gap));
   }
   bench::emit(table,
-              "n=" + std::to_string(n) + " duration=" + std::to_string(duration),
+              "n=" + std::to_string(n) + " duration=" +
+                  std::to_string(duration) + " seeds=" +
+                  std::to_string(seed_count) + " workers=" +
+                  std::to_string(fleet.worker_count()),
               options.csv());
 
   const bool shape_ok =
-      results[1].final_storage <= results[0].final_storage / 2 &&  // reclaims
-      results[4].final_storage <= results[1].final_storage &&      // oracle best
-      results[1].control_messages == 0 &&                          // async
-      results[2].control_messages > 0;
+      summaries[1].final_storage.mean() <=
+          summaries[0].final_storage.mean() / 2 &&            // reclaims
+      summaries[4].final_storage.mean() <=
+          summaries[1].final_storage.mean() &&                // oracle best
+      summaries[1].control_messages.max() == 0 &&             // async
+      summaries[2].control_messages.min() > 0;
   bench::verdict(shape_ok,
                  "RDT-LGC reclaims most storage with ZERO control messages; "
                  "synchronous collectors close the residual gap at O(n) "

@@ -2,24 +2,39 @@
 // [19, 20]).  FDI forces on every dependency-bearing receive, FDAS only
 // after a send, MRS on every receive-after-send.  The ordering
 // FDAS <= min(FDI, MRS) on identical workloads is the expected shape.
+//
+// Each (workload, protocol) cell is a multi-seed sweep driven through
+// harness::FleetRunner — all protocols see the identical seed set, the
+// per-seed simulations stay deterministic, and the reported figures are
+// cross-seed means (RunningStat, folded in seed order).
+#include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "bench_common.hpp"
+#include "harness/sweep.hpp"
 #include "harness/system.hpp"
 #include "workload/workload.hpp"
 
 using namespace rdtgc;
 
 int main(int argc, char** argv) {
-  const bench::Options options(argc, argv, {"n", "duration", "seed"});
+  const bench::Options options(argc, argv,
+                               {"n", "duration", "seed", "seeds", "workers"});
   const std::size_t n = options.u64("n", 8);
   const SimTime duration = options.u64("duration", 20000);
-  const std::uint64_t seed = options.u64("seed", 3);
+  const std::uint64_t base_seed = options.u64("seed", 3);
+  const std::size_t seed_count = options.u64("seeds", 8);
   bench::banner("T-C: forced checkpoints per RDT protocol");
+
+  harness::FleetRunner fleet(
+      {.workers = static_cast<std::size_t>(options.u64("workers", 0))});
+  const std::vector<std::uint64_t> seeds =
+      harness::seed_range(base_seed, seed_count);
 
   util::Table table({"workload", "protocol", "basic", "forced",
                      "forced/recv", "total ckpts", "stored at end"});
-  std::map<std::string, std::map<std::string, std::uint64_t>> forced_by;
+  std::map<std::string, std::map<std::string, double>> forced_by;
   for (const auto kind :
        {workload::WorkloadKind::kUniform, workload::WorkloadKind::kRing,
         workload::WorkloadKind::kClientServer,
@@ -27,41 +42,67 @@ int main(int argc, char** argv) {
     for (const auto protocol :
          {ckpt::ProtocolKind::kFdi, ckpt::ProtocolKind::kFdas,
           ckpt::ProtocolKind::kMrs}) {
-      harness::SystemConfig config;
-      config.process_count = n;
-      config.protocol = protocol;
-      config.gc = harness::GcChoice::kRdtLgc;
-      config.seed = seed;
-      harness::System system(config);
-      workload::WorkloadConfig wl;
-      wl.kind = kind;
-      wl.seed = seed;  // identical workload for all three protocols
-      workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
-                                      wl);
-      driver.start(duration);
-      system.simulator().run();
+      const std::vector<harness::SweepRun> runs = harness::run_seed_sweep(
+          fleet, seeds,
+          [&](std::uint64_t seed,
+              harness::WorkerContext&) -> harness::SweepRun {
+            harness::SystemConfig config;
+            config.process_count = n;
+            config.protocol = protocol;
+            config.gc = harness::GcChoice::kRdtLgc;
+            config.seed = seed;
+            harness::System system(config);
+            workload::WorkloadConfig wl;
+            wl.kind = kind;
+            wl.seed = seed;  // identical workload for all three protocols
+            workload::WorkloadDriver driver(system.simulator(),
+                                            system.node_ptrs(), wl);
+            driver.start(duration);
+            system.simulator().run();
 
-      std::uint64_t basic = 0, forced = 0, received = 0;
-      for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
-        basic += system.node(p).counters().basic_checkpoints;
-        forced += system.node(p).counters().forced_checkpoints;
-        received += system.node(p).counters().messages_received;
+            harness::SweepRun run;
+            for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+              run.basic_checkpoints +=
+                  system.node(p).counters().basic_checkpoints;
+              run.forced_checkpoints +=
+                  system.node(p).counters().forced_checkpoints;
+              run.messages_received +=
+                  system.node(p).counters().messages_received;
+            }
+            run.final_storage = static_cast<double>(system.total_stored());
+            return run;
+          });
+
+      // Cross-seed means, folded in seed order.
+      double basic = 0, forced = 0, received = 0, stored = 0;
+      for (const harness::SweepRun& run : runs) {
+        basic += static_cast<double>(run.basic_checkpoints);
+        forced += static_cast<double>(run.forced_checkpoints);
+        received += static_cast<double>(run.messages_received);
+        stored += run.final_storage;
       }
+      const double inv = 1.0 / static_cast<double>(runs.size());
+      basic *= inv;
+      forced *= inv;
+      received *= inv;
+      stored *= inv;
       forced_by[workload::workload_kind_name(kind)]
                [ckpt::protocol_kind_name(protocol)] = forced;
       table.begin_row()
           .add_cell(workload::workload_kind_name(kind))
           .add_cell(ckpt::protocol_kind_name(protocol))
-          .add_cell(basic)
-          .add_cell(forced)
-          .add_cell(static_cast<double>(forced) /
-                        static_cast<double>(received),
-                    3)
-          .add_cell(basic + forced + n)
-          .add_cell(system.total_stored());
+          .add_cell(basic, 1)
+          .add_cell(forced, 1)
+          .add_cell(forced / received, 3)
+          .add_cell(basic + forced + static_cast<double>(n), 1)
+          .add_cell(stored, 1);
     }
   }
-  bench::emit(table, "n=" + std::to_string(n), options.csv());
+  bench::emit(table,
+              "n=" + std::to_string(n) + " seeds=" +
+                  std::to_string(seed_count) + " workers=" +
+                  std::to_string(fleet.worker_count()),
+              options.csv());
 
   bool fdas_cheapest = true;
   for (const auto& [workload_name, per_protocol] : forced_by)

@@ -8,6 +8,8 @@
 //    characterization) scale with the recorded history.
 #include <benchmark/benchmark.h>
 
+#include <utility>
+
 #include "causality/dependency_vector.hpp"
 #include "ccp/analysis.hpp"
 #include "ccp/precedence.hpp"
@@ -15,7 +17,9 @@
 #include "ckpt/sharded_checkpoint_store.hpp"
 #include "core/rdt_lgc.hpp"
 #include "core/uc_table.hpp"
+#include "harness/sweep.hpp"
 #include "harness/system.hpp"
+#include "metrics/storage_probe.hpp"
 #include "workload/workload.hpp"
 
 using namespace rdtgc;
@@ -254,6 +258,39 @@ void BM_ShardedCollectContended(benchmark::State& state) {
 BENCHMARK(BM_ShardedCollectStriped)->Arg(4)->Arg(64)->Arg(256);
 BENCHMARK(BM_ShardedCollectContended)->Arg(4)->Arg(64)->Arg(256);
 
+// Striped-mode (locked) variants of the put/collect churn: the same
+// single-threaded access patterns with the per-stripe spinlocks armed, so
+// the uncontended locking overhead of StoreConcurrency::kStriped is visible
+// as a delta against the unsynchronized families above.
+void BM_ShardedChurnMode(benchmark::State& state,
+                         ckpt::StoreConcurrency concurrency) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::ShardedCheckpointStore store(
+      0, ckpt::ShardedCheckpointStore::kDefaultShardCount, concurrency);
+  causality::DependencyVector dv(n);
+  CheckpointIndex next = 0;
+  const CheckpointIndex window =
+      static_cast<CheckpointIndex>(2 * store.shard_count());
+  for (; next < window; ++next) store.put(next, dv, 0, 1);
+  for (CheckpointIndex g = 0; g < window / 2; ++g) store.collect(g);
+  for (auto _ : state) {
+    for (int k = 0; k < kShardedBatch; ++k) {
+      store.put(next, dv, 0, 1);
+      store.collect(next - window / 2);
+      ++next;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kShardedBatch);
+}
+void BM_ShardedChurnUnsynchronized(benchmark::State& state) {
+  BM_ShardedChurnMode(state, ckpt::StoreConcurrency::kUnsynchronized);
+}
+void BM_ShardedChurnStripedLocked(benchmark::State& state) {
+  BM_ShardedChurnMode(state, ckpt::StoreConcurrency::kStriped);
+}
+BENCHMARK(BM_ShardedChurnUnsynchronized)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(BM_ShardedChurnStripedLocked)->Arg(4)->Arg(64)->Arg(256);
+
 void rollback_setup(std::size_t n, ckpt::ShardedCheckpointStore& store,
                     core::RdtLgc& lgc) {
   lgc.initialize(0, n, store);
@@ -349,6 +386,58 @@ void BM_Theorem1Characterization(benchmark::State& state) {
         ccp::obsolete_theorem1(system.recorder(), causal));
 }
 BENCHMARK(BM_Theorem1Characterization);
+
+// ---- FleetRunner thread scaling ------------------------------------------
+//
+// A 32-seed sweep of a small RDT-LGC simulation (the determinism-test
+// workload) across 1/2/4/8 workers.  Wall-clock (UseRealTime) is the figure
+// of merit: the sweep is embarrassingly parallel, so on a k-core host the
+// 8-worker family should approach min(k, 8)x the 1-worker family.  The pool
+// is built once per family; each iteration dispatches one whole batch, so
+// batch setup/teardown (queue dealing, wakeup, join) is charged to the
+// measurement exactly as a driver pays it.
+void BM_FleetRunner(benchmark::State& state) {
+  harness::FleetRunner fleet(
+      {.workers = static_cast<std::size_t>(state.range(0))});
+  const std::vector<std::uint64_t> seeds = harness::seed_range(100, 32);
+  const auto body = [](std::uint64_t seed,
+                       harness::WorkerContext&) -> harness::SweepRun {
+    harness::SystemConfig config;
+    config.process_count = 4;
+    config.gc = harness::GcChoice::kRdtLgc;
+    config.seed = seed;
+    harness::System system(config);
+    workload::WorkloadConfig wl;
+    wl.seed = seed * 31 + 7;
+    workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(),
+                                    wl);
+    driver.start(1500);
+    metrics::StorageProbe probe(system.simulator(),
+                                std::as_const(system).node_ptrs());
+    probe.start(25, 1500);
+    system.simulator().run();
+    harness::SweepRun run;
+    run.storage = probe.global_series().stat();
+    run.final_storage = static_cast<double>(system.total_stored());
+    run.collected = system.total_collected();
+    return run;
+  };
+  for (auto _ : state) {
+    const std::vector<harness::SweepRun> runs =
+        harness::run_seed_sweep(fleet, seeds, body);
+    benchmark::DoNotOptimize(runs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seeds.size()));
+}
+BENCHMARK(BM_FleetRunner)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
 
 }  // namespace
 

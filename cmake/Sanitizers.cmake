@@ -11,3 +11,19 @@ function(rdtgc_enable_sanitizers)
   add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
   add_link_options(-fsanitize=address,undefined)
 endfunction()
+
+# ThreadSanitizer toggle (the `tsan` preset): incompatible with ASan, so it
+# is a separate option and the top-level CMakeLists rejects combining them.
+# Used to vet the striped-store locking and the FleetRunner scheduling —
+# tests/concurrency_test.cpp is written to fail under tsan if either loses a
+# guard.
+function(rdtgc_enable_thread_sanitizer)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(WARNING "RDTGC_SANITIZE_THREAD requested but "
+                    "${CMAKE_CXX_COMPILER_ID} is not a known "
+                    "sanitizer-capable compiler; ignoring.")
+    return()
+  endif()
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
+endfunction()

@@ -2,32 +2,48 @@
 """Diff a fresh tabd_micro JSON run against the committed BENCH_micro.json.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [--threshold PCT]
+                        [--history FILE]
 
 Prints a per-benchmark table for the tracked families and flags entries whose
-cpu_time regressed by more than the threshold (default 20%).  Always exits 0:
-this is a trend signal for humans (and CI annotations), not a gate — a loaded
-CI runner must not fail the build.  New benchmarks (no baseline entry) and
-removed ones are reported informationally.
+time regressed by more than the threshold (default 20%).  Wall-clock
+benchmarks (names carrying Google Benchmark's `/real_time` suffix, e.g. the
+BM_FleetRunner thread-scaling families) are compared on real_time; everything
+else on cpu_time.  Always exits 0: this is a trend signal for humans (and CI
+annotations), not a gate — a loaded CI runner must not fail the build.  New
+benchmarks (no baseline entry) and removed ones are reported informationally.
+
+--history FILE appends one NDJSON record of this comparison (UTC timestamp,
+commit, per-benchmark baseline/fresh/delta) to FILE — the scheduled bench
+workflow feeds its bench-history artifact with this, so slow drift across
+days is visible, not just per-push regressions.
 """
 
 import argparse
+import datetime
 import json
+import os
 import re
 import sys
 
 # Families tracked for regressions (the hot paths this repo optimizes for).
 TRACKED = re.compile(
-    r"^(BM_DvMerge|BM_ReceivePath|BM_RollbackBinary)\b|^BM_Sharded")
+    r"^(BM_DvMerge|BM_ReceivePath|BM_RollbackBinary)\b"
+    r"|^BM_Sharded|^BM_FleetRunner")
 
 
 def load(path):
+    """name -> measured time: real_time for /real_time benchmarks, cpu_time
+    otherwise (a worker-pool benchmark's main-thread cpu_time is mostly
+    condition-variable waiting)."""
     with open(path) as f:
         data = json.load(f)
-    return {
-        b["name"]: b["cpu_time"]
-        for b in data.get("benchmarks", [])
-        if b.get("run_type", "iteration") == "iteration"
-    }
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        key = "real_time" if "/real_time" in b["name"] else "cpu_time"
+        out[b["name"]] = b[key]
+    return out
 
 
 def main():
@@ -36,18 +52,22 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--threshold", type=float, default=20.0,
                         help="regression threshold in percent (default 20)")
+    parser.add_argument("--history", metavar="FILE",
+                        help="append one NDJSON comparison record to FILE")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
 
     regressions = []
+    records = []
     print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} {'delta':>8s}")
     for name in sorted(fresh):
         if not TRACKED.search(name):
             continue
         if name not in baseline:
             print(f"{name:40s} {'(new)':>12s} {fresh[name]:12.1f}")
+            records.append({"name": name, "fresh": fresh[name]})
             continue
         delta = (fresh[name] / baseline[name] - 1.0) * 100.0
         flag = ""
@@ -56,6 +76,8 @@ def main():
             regressions.append((name, delta))
         print(f"{name:40s} {baseline[name]:12.1f} {fresh[name]:12.1f} "
               f"{delta:+7.1f}%{flag}")
+        records.append({"name": name, "baseline": baseline[name],
+                        "fresh": fresh[name], "delta_pct": round(delta, 2)})
     for name in sorted(set(baseline) - set(fresh)):
         if TRACKED.search(name):
             print(f"{name:40s} {baseline[name]:12.1f} {'(removed)':>12s}")
@@ -71,7 +93,20 @@ def main():
     else:
         print("\nno tracked regressions above "
               f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
-              "BM_RollbackBinary, BM_Sharded*)")
+              "BM_RollbackBinary, BM_Sharded*, BM_FleetRunner)")
+
+    if args.history:
+        record = {
+            "timestamp": datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds"),
+            "commit": os.environ.get("GITHUB_SHA", ""),
+            "threshold_pct": args.threshold,
+            "regressions": len(regressions),
+            "benchmarks": records,
+        }
+        with open(args.history, "a") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"appended comparison record to {args.history}")
     return 0
 
 

@@ -4,9 +4,23 @@
 
 namespace rdtgc::causality {
 
+IntervalIndex DvView::operator[](ProcessId p) const {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < n_);
+  return data_[static_cast<std::size_t>(p)];
+}
+
+std::string DvView::to_string() const {
+  std::string out = "(";
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j) out += ", ";
+    out += std::to_string(data_[j]);
+  }
+  out += ")";
+  return out;
+}
+
 IntervalIndex DependencyVector::operator[](ProcessId p) const {
-  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < entries_.size());
-  return entries_[static_cast<std::size_t>(p)];
+  return view()[p];  // one bounds-checked entry access, defined on the view
 }
 
 IntervalIndex& DependencyVector::at(ProcessId p) {
@@ -67,14 +81,6 @@ void DependencyVector::merge_into(const DependencyVector& m,
   }
 }
 
-std::string DependencyVector::to_string() const {
-  std::string out = "(";
-  for (std::size_t j = 0; j < entries_.size(); ++j) {
-    if (j) out += ", ";
-    out += std::to_string(entries_[j]);
-  }
-  out += ")";
-  return out;
-}
+std::string DependencyVector::to_string() const { return view().to_string(); }
 
 }  // namespace rdtgc::causality

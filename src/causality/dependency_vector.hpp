@@ -54,6 +54,54 @@ class ChangedSet {
   std::vector<ProcessId> ids_;
 };
 
+class DependencyVector;
+
+/// Non-owning read view of dependency-vector entries.
+///
+/// The CCP recorder stores every recorded checkpoint's DV in one append-only
+/// per-process arena (ccp/recorder.hpp) instead of one heap vector per
+/// checkpoint; this view is how those rows — and any other borrowed DV
+/// storage — expose the paper's derived relations (Equations 2 and 3)
+/// without copying into an owning DependencyVector.  Plain pointer+size, so
+/// it is trivially copyable and never allocates; it is invalidated by
+/// whatever invalidates the underlying storage.
+class DvView {
+ public:
+  DvView() = default;
+  DvView(const IntervalIndex* data, std::size_t n) : data_(data), n_(n) {}
+
+  std::size_t size() const { return n_; }
+
+  /// Entry access; `p` must be a valid process id.
+  IntervalIndex operator[](ProcessId p) const;
+
+  /// Equation 2: does checkpoint c_a^alpha causally precede the checkpoint
+  /// whose stored dependency vector is *this?
+  bool precedes_this(ProcessId a, CheckpointIndex alpha) const {
+    return alpha < (*this)[a];
+  }
+
+  /// Equation 3: index of the last stable checkpoint of p_j known here
+  /// (kNoCheckpoint if none).
+  CheckpointIndex last_known_checkpoint(ProcessId j) const {
+    return (*this)[j] - 1;
+  }
+
+  /// Render as "(a, b, c)" like the paper's Figure 4.
+  std::string to_string() const;
+
+  friend bool operator==(const DvView& x, const DvView& y) {
+    if (x.n_ != y.n_) return false;
+    for (std::size_t j = 0; j < x.n_; ++j)
+      if (x.data_[j] != y.data_[j]) return false;
+    return true;
+  }
+
+ private:
+  const IntervalIndex* data_ = nullptr;
+  std::size_t n_ = 0;
+};
+
 /// A size-n transitive dependency vector.
 class DependencyVector {
  public:
@@ -63,6 +111,14 @@ class DependencyVector {
   explicit DependencyVector(std::size_t n) : entries_(n, 0) {}
 
   std::size_t size() const { return entries_.size(); }
+
+  /// Non-owning view of the entries (invalidated by mutation/destruction).
+  DvView view() const { return DvView(entries_.data(), entries_.size()); }
+
+  /// Raw read access to the entries, for bulk copies into arenas.
+  std::span<const IntervalIndex> entries() const {
+    return {entries_.data(), entries_.size()};
+  }
 
   /// Entry access; `p` must be a valid process id.
   IntervalIndex operator[](ProcessId p) const;
@@ -88,19 +144,23 @@ class DependencyVector {
   /// to merge().
   void merge_into(const DependencyVector& m, ChangedSet& changed);
 
-  /// Equation 2: does checkpoint c_a^alpha causally precede the checkpoint
-  /// whose stored dependency vector is *this?
+  /// Equation 2 (delegates to DvView so the relation has one definition).
   bool precedes_this(ProcessId a, CheckpointIndex alpha) const {
-    return alpha < (*this)[a];
+    return view().precedes_this(a, alpha);
   }
 
-  /// Equation 3: index of the last stable checkpoint of p_j known here
-  /// (kNoCheckpoint if none).
+  /// Equation 3 (delegates to DvView; kNoCheckpoint if none).
   CheckpointIndex last_known_checkpoint(ProcessId j) const {
-    return (*this)[j] - 1;
+    return view().last_known_checkpoint(j);
   }
 
   bool operator==(const DependencyVector&) const = default;
+  friend bool operator==(const DvView& v, const DependencyVector& d) {
+    return v == d.view();
+  }
+  friend bool operator==(const DependencyVector& d, const DvView& v) {
+    return v == d.view();
+  }
 
   /// Render as "(a, b, c)" like the paper's Figure 4.
   std::string to_string() const;

@@ -101,9 +101,8 @@ std::vector<CheckpointIndex> retained_corollary1(const CcpRecorder& recorder,
   const causality::DependencyVector& dv_v = recorder.volatile_dv(p);
   std::vector<CheckpointIndex> retained;
   for (CheckpointIndex g = 0; g <= last; ++g) {
-    const causality::DependencyVector& dv_g =
-        recorder.general_checkpoint_dv(p, g);
-    const causality::DependencyVector& dv_next =
+    const causality::DvView dv_g = recorder.general_checkpoint_dv(p, g);
+    const causality::DvView dv_next =
         recorder.general_checkpoint_dv(p, g + 1);
     for (std::size_t f = 0; f < n; ++f) {
       const auto pf = static_cast<ProcessId>(f);

@@ -1,8 +1,52 @@
 #include "ccp/recorder.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace rdtgc::ccp {
+
+DvArena::DvArena(std::size_t width)
+    : width_(width),
+      // ~16 KiB chunks, at least 8 rows: big enough that chunk allocation
+      // vanishes in the churn, small enough that a short run wastes little.
+      rows_per_chunk_(
+          std::max<std::size_t>(8, 16384 / (sizeof(IntervalIndex) *
+                                            std::max<std::size_t>(1, width)))) {
+  RDTGC_EXPECTS(width >= 1);
+}
+
+void DvArena::push(std::span<const IntervalIndex> row) {
+  RDTGC_EXPECTS(row.size() == width_);
+  const std::size_t chunk = rows_ / rows_per_chunk_;
+  if (chunk == chunks_.size())
+    chunks_.push_back(
+        std::make_unique<IntervalIndex[]>(rows_per_chunk_ * width_));
+  // else: a chunk retained by truncate() is refilled in place.
+  IntervalIndex* dst =
+      chunks_[chunk].get() + (rows_ % rows_per_chunk_) * width_;
+  std::copy(row.begin(), row.end(), dst);
+  ++rows_;
+}
+
+causality::DvView DvArena::row(std::size_t r) const {
+  RDTGC_EXPECTS(r < rows_);
+  return causality::DvView(
+      chunks_[r / rows_per_chunk_].get() + (r % rows_per_chunk_) * width_,
+      width_);
+}
+
+void DvArena::truncate(std::size_t rows) {
+  RDTGC_EXPECTS(rows <= rows_);
+  rows_ = rows;  // chunks stay allocated for the re-execution to refill
+}
+
+void DvArena::reserve(std::size_t rows) {
+  const std::size_t chunks = (rows + rows_per_chunk_ - 1) / rows_per_chunk_;
+  while (chunks_.size() < chunks)
+    chunks_.push_back(
+        std::make_unique<IntervalIndex[]>(rows_per_chunk_ * width_));
+}
 
 CcpRecorder::CcpRecorder(std::size_t n)
     : checkpoints_(n),
@@ -10,6 +54,16 @@ CcpRecorder::CcpRecorder(std::size_t n)
       attached_dv_(n, nullptr),
       next_serial_(n, 1) {
   RDTGC_EXPECTS(n >= 1);
+  dv_arena_.reserve(n);  // DvArena is move-only: emplace, don't fill-copy
+  for (std::size_t p = 0; p < n; ++p) dv_arena_.emplace_back(n);
+}
+
+void CcpRecorder::reserve(std::size_t checkpoints) {
+  const std::size_t n = process_count();
+  for (std::size_t p = 0; p < n; ++p) {
+    checkpoints_[p].reserve(checkpoints);
+    dv_arena_[p].reserve(checkpoints);
+  }
 }
 
 sim::MessageId CcpRecorder::new_message_id() {
@@ -25,12 +79,14 @@ void CcpRecorder::record_checkpoint(ProcessId p, CheckpointIndex idx,
   auto& list = checkpoints_[static_cast<std::size_t>(p)];
   RDTGC_EXPECTS(idx == static_cast<CheckpointIndex>(list.size()));
   RDTGC_EXPECTS(dv[p] == idx);
-  // Emplace and fill in place: this runs once per checkpoint on the hot
-  // middleware path, and the DV copy below is its only allocation.
+  RDTGC_EXPECTS(dv.size() == process_count());
+  // The DV is appended as one row of p's history arena: no per-record heap
+  // vector, so steady-state recording is O(1)-allocation (one chunk per
+  // rows_per_chunk records, exactly zero after reserve()).
+  dv_arena_[static_cast<std::size_t>(p)].push(dv.entries());
   CheckpointInfo& info = list.emplace_back();
   info.process = p;
   info.index = idx;
-  info.dv = dv;
   info.kind = kind;
   info.serial = next_serial_[static_cast<std::size_t>(p)]++;
   info.gseq = next_gseq_++;
@@ -88,6 +144,10 @@ void CcpRecorder::record_rollback(ProcessId p, CheckpointIndex ri, SimTime t) {
 
   stats_.checkpoints_rolled_back += list.size() - (ri + 1);
   list.resize(static_cast<std::size_t>(ri) + 1);
+  // The arena rows above ri die with their checkpoints; the chunks keep
+  // their storage, so the re-execution's records refill them allocation-free.
+  dv_arena_[static_cast<std::size_t>(p)].truncate(static_cast<std::size_t>(ri) +
+                                                  1);
 
   for (MessageInfo& m : messages_) {
     if (m.src == p && m.send_alive && m.send_serial > cutoff) {
@@ -128,12 +188,20 @@ const causality::DependencyVector& CcpRecorder::volatile_dv(
   return volatile_dv_[static_cast<std::size_t>(p)];
 }
 
-const causality::DependencyVector& CcpRecorder::general_checkpoint_dv(
+causality::DvView CcpRecorder::checkpoint_dv(ProcessId p,
+                                             CheckpointIndex idx) const {
+  const auto& list = checkpoints(p);
+  RDTGC_EXPECTS(idx >= 0 && idx < static_cast<CheckpointIndex>(list.size()));
+  return dv_arena_[static_cast<std::size_t>(p)].row(
+      static_cast<std::size_t>(idx));
+}
+
+causality::DvView CcpRecorder::general_checkpoint_dv(
     ProcessId p, CheckpointIndex gamma) const {
   const CheckpointIndex last = last_stable(p);
   RDTGC_EXPECTS(gamma >= 0 && gamma <= last + 1);
-  if (gamma <= last) return checkpoint(p, gamma).dv;
-  return volatile_dv(p);
+  if (gamma <= last) return checkpoint_dv(p, gamma);
+  return volatile_dv(p).view();
 }
 
 bool CcpRecorder::audit_no_orphans() const {

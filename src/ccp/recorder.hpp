@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "causality/dependency_vector.hpp"
@@ -25,12 +27,13 @@ namespace rdtgc::ccp {
 
 enum class CheckpointKind { kInitial, kBasic, kForced };
 
-/// One recorded (live) checkpoint.
+/// One recorded (live) checkpoint.  The DV stored with it lives in the
+/// recorder's per-process history arena — read it through
+/// CcpRecorder::checkpoint_dv(process, index); it satisfies
+/// dv[process] == index.
 struct CheckpointInfo {
   ProcessId process = -1;
   CheckpointIndex index = 0;
-  /// Dependency vector stored with the checkpoint (so dv[process] == index).
-  causality::DependencyVector dv;
   CheckpointKind kind = CheckpointKind::kBasic;
   /// Per-process event serial (monotonic, never reused across rollbacks).
   std::uint64_t serial = 0;
@@ -59,11 +62,59 @@ struct MessageInfo {
   bool live() const { return delivered && send_alive && recv_alive; }
 };
 
+/// Append-only arena of fixed-width dependency-vector rows (one per
+/// recorded checkpoint), laid out in equal-size chunks.
+///
+/// Why chunks and not one growing vector: a recording run appends one row
+/// per checkpoint forever, and a geometrically grown flat buffer re-copies
+/// the ENTIRE history on every doubling — measurably (2x+) slower per
+/// checkpoint at large n than the per-checkpoint heap vectors it was meant
+/// to replace.  Chunks never move once allocated: an append is exactly one
+/// n-entry copy into the current chunk, a chunk allocation amortizes across
+/// rows_per_chunk() appends (zero after reserve()), and truncation keeps
+/// the chunks for the re-execution to refill.  Rows never span chunks, so
+/// row(r) is a contiguous n-entry view.
+class DvArena {
+ public:
+  /// `width` = entries per row (the process count); rows_per_chunk is sized
+  /// for ~16 KiB chunks, minimum 8 rows.
+  explicit DvArena(std::size_t width);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t width() const { return width_; }
+  std::size_t rows_per_chunk() const { return rows_per_chunk_; }
+
+  /// Append one row (row.size() == width()).  Allocates only when a fresh
+  /// chunk is needed and no retained spare exists.
+  void push(std::span<const IntervalIndex> row);
+
+  /// Row r as a DV view; valid until truncate() below r.
+  causality::DvView row(std::size_t r) const;
+
+  /// Keep the first `rows` rows; retained chunks keep their storage.
+  void truncate(std::size_t rows);
+
+  /// Pre-allocate chunks for `rows` rows.
+  void reserve(std::size_t rows);
+
+ private:
+  std::size_t width_;
+  std::size_t rows_per_chunk_;
+  std::size_t rows_ = 0;
+  std::vector<std::unique_ptr<IntervalIndex[]>> chunks_;
+};
+
 class CcpRecorder {
  public:
   explicit CcpRecorder(std::size_t n);
 
   std::size_t process_count() const { return volatile_dv_.size(); }
+
+  /// Pre-size every process's checkpoint list and DV arena for `checkpoints`
+  /// recorded checkpoints, so a run of known length records with zero heap
+  /// traffic (tests/hot_path_test.cpp enforces this).  Recording beyond the
+  /// reservation stays correct — growth is amortized O(1) either way.
+  void reserve(std::size_t checkpoints);
 
   // ---- Recording API (driven by the simulation) ----
 
@@ -106,6 +157,10 @@ class CcpRecorder {
 
   const CheckpointInfo& checkpoint(ProcessId p, CheckpointIndex idx) const;
 
+  /// DV stored with live checkpoint c_p^idx: a view into p's history arena,
+  /// invalidated by the next record_checkpoint/record_rollback for p.
+  causality::DvView checkpoint_dv(ProcessId p, CheckpointIndex idx) const;
+
   /// Index of p's last stable checkpoint (paper: last_s(p)); >= 0 always.
   CheckpointIndex last_stable(ProcessId p) const;
 
@@ -114,8 +169,10 @@ class CcpRecorder {
 
   /// DV of the *general* checkpoint c_p^γ (Eq. 1): the stored DV for
   /// γ <= last_stable(p), the volatile DV for γ == last_stable(p)+1.
-  const causality::DependencyVector& general_checkpoint_dv(
-      ProcessId p, CheckpointIndex gamma) const;
+  /// Returned as a view (arena row or volatile entries) — valid until the
+  /// next recording event for p.
+  causality::DvView general_checkpoint_dv(ProcessId p,
+                                          CheckpointIndex gamma) const;
 
   /// All recorded messages (including lost/dead ones), by id order.
   const std::vector<MessageInfo>& messages() const { return messages_; }
@@ -135,6 +192,12 @@ class CcpRecorder {
  private:
   std::uint64_t next_gseq_ = 1;
   std::vector<std::vector<CheckpointInfo>> checkpoints_;  // [p] live, by index
+  /// Per-process history arenas: the DV of c_p^idx is row idx of
+  /// dv_arena_[p] (checkpoint position == index, so the row offset needs no
+  /// directory); rollback truncates the rows above ri together with
+  /// checkpoints_[p].  Replaces one heap vector per recorded checkpoint —
+  /// steady-state recording is O(1)-allocation, zero after reserve().
+  std::vector<DvArena> dv_arena_;                         // [p]
   std::vector<causality::DependencyVector> volatile_dv_;  // [p]
   /// Live DV views registered by attach_volatile_dv (null = use the copy).
   std::vector<const causality::DependencyVector*> attached_dv_;  // [p]

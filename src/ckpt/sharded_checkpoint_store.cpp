@@ -1,6 +1,7 @@
 #include "ckpt/sharded_checkpoint_store.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "util/check.hpp"
@@ -8,30 +9,47 @@
 namespace rdtgc::ckpt {
 
 ShardedCheckpointStore::ShardedCheckpointStore(ProcessId owner,
-                                               std::size_t shard_count)
+                                               std::size_t shard_count,
+                                               StoreConcurrency concurrency)
     : owner_(owner),
+      concurrency_(concurrency),
       mask_(shard_count - 1),
       shards_(shard_count, CheckpointStore(owner)) {
   RDTGC_EXPECTS(shard_count >= 1);
   RDTGC_EXPECTS((shard_count & (shard_count - 1)) == 0);  // power of two
+  if (striped()) stripe_locks_ = std::make_unique<StripeLock[]>(shard_count);
 }
 
 void ShardedCheckpointStore::note_put(std::uint64_t bytes) {
-  bytes_ += bytes;
-  ++count_;
+  // The count_/bytes_ bumps happen under the stats guard too (a no-op
+  // single-threaded): with them outside, a concurrent collect could shrink
+  // the occupancy between a put's bump and its peak update and the true
+  // momentary peak would never be recorded.
+  MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
+  bump(bytes_, bytes);
+  bump(count_, std::size_t{1});
   ++stats_.stored;
-  stats_.peak_count = std::max(stats_.peak_count, count_);
-  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
-  merged_dirty_ = true;
+  stats_.peak_count =
+      std::max(stats_.peak_count, count_.load(std::memory_order_relaxed));
+  stats_.peak_bytes =
+      std::max(stats_.peak_bytes, bytes_.load(std::memory_order_relaxed));
+  merged_dirty_.store(true, std::memory_order_release);
 }
 
 void ShardedCheckpointStore::put(StoredCheckpoint checkpoint) {
   RDTGC_EXPECTS(checkpoint.index >= 0);
   // Global strict increase over the *currently stored* set, exactly the
   // flat store's contract; the per-shard check is then trivially satisfied.
-  RDTGC_EXPECTS(count_ == 0 || checkpoint.index > last_index());
+  // In striped mode verifying it would serialize every stripe, so only the
+  // per-stripe check (inside the shard's put) runs — the cross-shard order
+  // is the caller's contract.
+  RDTGC_EXPECTS(striped() || count() == 0 || checkpoint.index > last_index());
   const std::uint64_t bytes = checkpoint.bytes;
-  shard_for(checkpoint.index).put(std::move(checkpoint));
+  const std::size_t s = shard_of(checkpoint.index);
+  {
+    MaybeGuard guard(stripe_lock(s));
+    shards_[s].put(std::move(checkpoint));
+  }
   note_put(bytes);
 }
 
@@ -39,15 +57,21 @@ void ShardedCheckpointStore::put(CheckpointIndex index,
                                  const causality::DependencyVector& dv,
                                  SimTime stored_at, std::uint64_t bytes) {
   RDTGC_EXPECTS(index >= 0);
-  RDTGC_EXPECTS(count_ == 0 || index > last_index());
-  // The shard's copy-in put reuses the DV buffer recycled by that shard's
-  // last collect() — the per-shard recycler invariant.
-  shard_for(index).put(index, dv, stored_at, bytes);
+  RDTGC_EXPECTS(striped() || count() == 0 || index > last_index());
+  const std::size_t s = shard_of(index);
+  {
+    // The shard's copy-in put reuses the DV buffer recycled by that shard's
+    // last collect() — the per-shard recycler invariant.
+    MaybeGuard guard(stripe_lock(s));
+    shards_[s].put(index, dv, stored_at, bytes);
+  }
   note_put(bytes);
 }
 
 bool ShardedCheckpointStore::contains(CheckpointIndex index) const {
-  return shards_[shard_of(index)].contains(index);
+  const std::size_t s = shard_of(index);
+  MaybeGuard guard(stripe_lock(s));
+  return shards_[s].contains(index);
 }
 
 const StoredCheckpoint& ShardedCheckpointStore::get(
@@ -56,47 +80,91 @@ const StoredCheckpoint& ShardedCheckpointStore::get(
 }
 
 void ShardedCheckpointStore::collect(CheckpointIndex index) {
-  CheckpointStore& shard = shard_for(index);
-  const std::uint64_t before = shard.bytes();
-  shard.collect(index);  // throws if absent, before any global bookkeeping
-  bytes_ -= before - shard.bytes();
-  --count_;
-  ++stats_.collected;
-  merged_dirty_ = true;
+  const std::size_t s = shard_of(index);
+  std::uint64_t freed = 0;
+  {
+    MaybeGuard guard(stripe_lock(s));
+    CheckpointStore& shard = shards_[s];
+    const std::uint64_t before = shard.bytes();
+    shard.collect(index);  // throws if absent, before any global bookkeeping
+    freed = before - shard.bytes();
+  }
+  {
+    MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
+    bump(bytes_, std::uint64_t{0} - freed);
+    bump(count_, std::size_t{0} - std::size_t{1});
+    ++stats_.collected;
+  }
+  merged_dirty_.store(true, std::memory_order_release);
 }
 
 std::size_t ShardedCheckpointStore::discard_after(CheckpointIndex ri) {
   std::size_t discarded = 0;
-  for (CheckpointStore& shard : shards_) {
-    const std::uint64_t before = shard.bytes();
-    discarded += shard.discard_after(ri);
-    bytes_ -= before - shard.bytes();
+  std::uint64_t freed = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    MaybeGuard guard(stripe_lock(s));
+    const std::uint64_t before = shards_[s].bytes();
+    discarded += shards_[s].discard_after(ri);
+    freed += before - shards_[s].bytes();
   }
-  count_ -= discarded;
-  stats_.discarded += discarded;
-  merged_dirty_ = true;
+  {
+    MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
+    bump(bytes_, std::uint64_t{0} - freed);
+    bump(count_, std::size_t{0} - discarded);
+    stats_.discarded += discarded;
+  }
+  merged_dirty_.store(true, std::memory_order_release);
   return discarded;
+}
+
+void ShardedCheckpointStore::rebuild_merged() const {
+  merged_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    MaybeGuard guard(stripe_lock(s));
+    const std::vector<CheckpointIndex>& part = shards_[s].stored_indices();
+    merged_.insert(merged_.end(), part.begin(), part.end());
+  }
+  // Each shard is sorted but low-bit striping interleaves them globally;
+  // with <= n+1 live checkpoints an in-place sort beats a k-way merge and
+  // keeps the rebuild allocation-free once the cache capacity is warm.
+  std::sort(merged_.begin(), merged_.end());
+}
+
+void ShardedCheckpointStore::refresh_merged_locked() const {
+  if (!striped()) {
+    // Single-threaded mode: plain relaxed load/store, honoring the
+    // no-atomic-RMW contract of kUnsynchronized.
+    if (merged_dirty_.load(std::memory_order_relaxed)) {
+      rebuild_merged();
+      merged_dirty_.store(false, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Guarded lazy rebuild: without the lock two const readers would rebuild
+  // the shared cache concurrently — the data race this mode fixes.  A
+  // mutation sneaking in between the exchange and the shard reads simply
+  // re-marks the cache dirty for the next reader.  Caller holds
+  // merged_lock_.
+  if (merged_dirty_.exchange(false, std::memory_order_acq_rel))
+    rebuild_merged();
 }
 
 const std::vector<CheckpointIndex>& ShardedCheckpointStore::stored_indices()
     const {
-  if (merged_dirty_) {
-    merged_.clear();
-    for (const CheckpointStore& shard : shards_) {
-      const std::vector<CheckpointIndex>& part = shard.stored_indices();
-      merged_.insert(merged_.end(), part.begin(), part.end());
-    }
-    // Each shard is sorted but low-bit striping interleaves them globally;
-    // with <= n+1 live checkpoints an in-place sort beats a k-way merge and
-    // keeps the rebuild allocation-free once the cache capacity is warm.
-    std::sort(merged_.begin(), merged_.end());
-    merged_dirty_ = false;
-  }
+  MaybeGuard guard(striped() ? &merged_lock_ : nullptr);
+  refresh_merged_locked();
   return merged_;
 }
 
+void ShardedCheckpointStore::snapshot_stored_indices(
+    std::vector<CheckpointIndex>& out) const {
+  MaybeGuard guard(striped() ? &merged_lock_ : nullptr);
+  refresh_merged_locked();
+  out.assign(merged_.begin(), merged_.end());
+}
+
 CheckpointIndex ShardedCheckpointStore::last_index() const {
-  RDTGC_EXPECTS(count_ > 0);
+  RDTGC_EXPECTS(count() > 0);
   CheckpointIndex last = kNoCheckpoint;
   for (const CheckpointStore& shard : shards_)
     if (shard.count() > 0) last = std::max(last, shard.last_index());

@@ -9,12 +9,7 @@
 // vectors, its own cached stored_indices() view, and its own recycled
 // spare-DV buffer, so the expensive per-mutation work — erase shifts,
 // binary searches, spare-buffer reuse — of independent collectors lands on
-// disjoint stripes and disjoint cache lines.  The global bookkeeping
-// (count/bytes/stats, the merged-view dirty flag) is still shared mutable
-// state: before the ROADMAP's multi-threaded simulation can drive this
-// concurrently it must become per-shard or atomic, and the lazily rebuilt
-// merged cache below must be guarded — stored_indices() is const but not
-// thread-safe.
+// disjoint stripes and disjoint cache lines.
 //
 // Stripe function: shard = index & (shard_count - 1), i.e. the LOW bits of
 // the checkpoint index.  The tradeoff against contiguous index ranges:
@@ -28,10 +23,34 @@
 //    pay for it once per mutation batch with a lazily rebuilt merged cache
 //    (see stored_indices()) instead of on every put/collect.
 //
-// Public interface and contracts are identical to CheckpointStore (the flat
-// store remains as the single-stripe reference implementation; the two are
-// property-tested for observable equivalence in tests/store_test.cpp), plus
-// shard introspection used by tests, benches, and the architecture docs.
+// Concurrency.  The store has two construction-time modes:
+//  * StoreConcurrency::kUnsynchronized (the default) is byte-for-byte the
+//    single-threaded store: no locks exist, no atomic RMW instructions run,
+//    and every allocation contract below holds exactly.  This is what every
+//    sim::Simulator-driven Node uses — one simulation is one thread.
+//  * StoreConcurrency::kStriped arms one util::SpinLock per stripe (padded
+//    to its own cache line) plus a merged-cache lock.  Mutations take only
+//    the owning stripe's lock, so collectors on distinct stripes proceed in
+//    parallel; global count()/bytes() become relaxed atomic updates and the
+//    lifetime Stats are maintained under a dedicated spinlock.  The striped
+//    mode keeps the per-operation allocation contracts (locks never
+//    allocate), with one relaxation: the cross-shard strict-increase
+//    precondition of put() is NOT checked (verifying it would need every
+//    stripe's lock); each stripe still enforces strict increase over its own
+//    indices.  See tests/concurrency_test.cpp for the supported interleavings.
+//
+// Thread-safety summary in kStriped mode (kUnsynchronized is single-thread
+// only, as before):
+//  * put / collect / contains — safe from any number of threads; operations
+//    on the same stripe serialize on its lock.
+//  * get / shard / stats / last_index / discard_after — require external
+//    quiescence (no concurrent mutators): they return references into, or
+//    read multi-word state of, storage a concurrent mutation may move.
+//  * stored_indices() — safe against concurrent stored_indices() callers
+//    (the lazily-merged cache rebuild is guarded; this was a const-method
+//    data race before); the returned reference is still invalidated by the
+//    next mutation, so under concurrent mutation use
+//    snapshot_stored_indices(), which copies out under the cache lock.
 //
 // Per-shard recycler invariant: a collect() recycles the dead checkpoint's
 // DV buffer into the *owning shard's* spare, and a copy-in put() consumes
@@ -39,17 +58,32 @@
 // RDT-LGC stores index k (shard k & mask) and eliminates an index a fixed
 // distance behind (same stripe sequence), so after one warm-up lap across
 // the stripes every shard's spare is primed and the cycle never allocates —
-// the contract tests/hot_path_test.cpp enforces per shard.
+// the contract tests/hot_path_test.cpp enforces per shard, in both modes.
+//
+// Public interface and contracts are otherwise identical to CheckpointStore
+// (the flat store remains as the single-stripe reference implementation; the
+// two are property-tested for observable equivalence in
+// tests/store_test.cpp), plus shard introspection used by tests, benches,
+// and the architecture docs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "causality/dependency_vector.hpp"
 #include "causality/types.hpp"
 #include "ckpt/checkpoint_store.hpp"
+#include "util/spinlock.hpp"
 
 namespace rdtgc::ckpt {
+
+/// Whether a ShardedCheckpointStore arms its per-stripe locks.
+enum class StoreConcurrency {
+  kUnsynchronized,  ///< single-threaded: no locks, no atomic RMW (default)
+  kStriped,         ///< per-stripe spinlocks; see the header comment
+};
 
 class ShardedCheckpointStore {
  public:
@@ -59,18 +93,24 @@ class ShardedCheckpointStore {
   static constexpr std::size_t kDefaultShardCount = 8;
 
   /// `shard_count` must be a power of two (>= 1); one stripe degenerates to
-  /// the flat store.  Allocates the stripes; everything after construction
+  /// the flat store.  Allocates the stripes (and, in kStriped mode, one
+  /// cache-line-padded lock per stripe); everything after construction
   /// follows the per-method allocation contracts below.
   explicit ShardedCheckpointStore(
-      ProcessId owner, std::size_t shard_count = kDefaultShardCount);
+      ProcessId owner, std::size_t shard_count = kDefaultShardCount,
+      StoreConcurrency concurrency = StoreConcurrency::kUnsynchronized);
 
   /// Owning process id.  O(1), never allocates.
   ProcessId owner() const { return owner_; }
 
+  /// Active concurrency mode.  O(1), never allocates.
+  StoreConcurrency concurrency() const { return concurrency_; }
+
   /// Store a new checkpoint; indices arrive in strictly increasing order
   /// within a lineage (rollback may reintroduce previously-used indices
   /// after discard_after()).  Amortized allocation-free once the owning
-  /// shard's vectors reached steady-state capacity.
+  /// shard's vectors reached steady-state capacity.  kStriped: checks the
+  /// strict increase only within the owning stripe (see header comment).
   void put(StoredCheckpoint checkpoint);
 
   /// Copy-in variant for the hot checkpoint path: the dependency vector is
@@ -80,23 +120,26 @@ class ShardedCheckpointStore {
   void put(CheckpointIndex index, const causality::DependencyVector& dv,
            SimTime stored_at, std::uint64_t bytes);
 
-  /// Membership test; one binary search inside the owning shard.  Never
-  /// allocates.
+  /// Membership test; one binary search inside the owning shard (under its
+  /// stripe lock in kStriped mode).  Never allocates.
   bool contains(CheckpointIndex index) const;
 
   /// Reference into the owning shard's flat storage — invalidated by the
   /// next mutation (put/collect/discard_after); copy before interleaving.
-  /// Never allocates.
+  /// Never allocates.  kStriped: requires quiescence (the reference escapes
+  /// the stripe lock).
   const StoredCheckpoint& get(CheckpointIndex index) const;
 
   /// Garbage-collection elimination of an obsolete checkpoint.  Shard-local:
-  /// erase-shifts and the recycled spare stay inside the owning stripe.
-  /// Allocation-free.
+  /// erase-shifts and the recycled spare stay inside the owning stripe (and
+  /// under its lock in kStriped mode).  Allocation-free.
   void collect(CheckpointIndex index);
 
   /// Rollback discard of every checkpoint with index > ri (Algorithm 3
   /// line 4), applied to each shard's suffix.  Returns how many were
-  /// discarded.  Allocation-free.
+  /// discarded.  Allocation-free.  kStriped: takes the stripe locks one at
+  /// a time, so the discard is atomic per stripe but not globally — rollback
+  /// runs with the process quiesced, exactly as in the paper's model.
   std::size_t discard_after(CheckpointIndex ri);
 
   /// Currently stored indices, ascending across ALL shards — the coherent
@@ -104,21 +147,34 @@ class ShardedCheckpointStore {
   /// mutation, then cached: repeated reads are O(1) and allocation-free
   /// once the cache capacity is warm.  The reference is invalidated by the
   /// next mutation — snapshot (copy) before interleaving with
-  /// put/collect/discard_after.
+  /// put/collect/discard_after.  kStriped: concurrent stored_indices()
+  /// callers are safe (the rebuild is guarded); holding the reference across
+  /// a concurrent mutation is not — use snapshot_stored_indices() there.
   const std::vector<CheckpointIndex>& stored_indices() const;
 
+  /// Copy the merged ascending index view into `out` (cleared first) under
+  /// the cache lock: safe to call while other threads mutate the store.
+  /// Each stripe is read under its lock, so the snapshot is per-stripe
+  /// atomic; cross-stripe coherence requires quiescence, as with any
+  /// concurrent container scan.  Allocation-free once `out` has capacity.
+  void snapshot_stored_indices(std::vector<CheckpointIndex>& out) const;
+
   /// Highest stored index across shards; store is never empty after the
-  /// initial checkpoint.  O(shard_count), never allocates.
+  /// initial checkpoint.  O(shard_count), never allocates.  kStriped:
+  /// requires quiescence.
   CheckpointIndex last_index() const;
 
-  /// Live checkpoints across all shards.  O(1), never allocates.
-  std::size_t count() const { return count_; }
-  /// Bytes held across all shards.  O(1), never allocates.
-  std::uint64_t bytes() const { return bytes_; }
+  /// Live checkpoints across all shards.  O(1), never allocates.  kStriped:
+  /// a relaxed atomic read — exact once mutators are quiescent.
+  std::size_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Bytes held across all shards.  O(1), never allocates.  kStriped: a
+  /// relaxed atomic read — exact once mutators are quiescent.
+  std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
   /// Global counters, aggregated across shards exactly as the flat store
   /// counts them (peaks are peaks of the global occupancy, not sums of
-  /// per-shard peaks).  O(1), never allocates.
+  /// per-shard peaks).  O(1), never allocates.  kStriped: requires
+  /// quiescence (multi-word snapshot).
   using Stats = CheckpointStore::Stats;
   const Stats& stats() const { return stats_; }
 
@@ -131,26 +187,84 @@ class ShardedCheckpointStore {
     return static_cast<std::size_t>(index) & mask_;
   }
   /// Read-only view of one stripe (its flat vectors, per-shard stats, and
-  /// live stored_indices()).  Never allocates.
+  /// live stored_indices()).  Never allocates.  kStriped: requires
+  /// quiescence.
   const CheckpointStore& shard(std::size_t s) const { return shards_[s]; }
 
  private:
+  /// One stripe lock on its own cache line, so collectors spinning on
+  /// neighbouring stripes do not false-share.
+  struct alignas(64) StripeLock {
+    util::SpinLock lock;
+  };
+
+  /// RAII guard that is a no-op in kUnsynchronized mode (lock == nullptr):
+  /// the single-threaded path pays one predictable branch, no RMW.
+  class MaybeGuard {
+   public:
+    explicit MaybeGuard(util::SpinLock* lock) : lock_(lock) {
+      if (lock_ != nullptr) lock_->lock();
+    }
+    ~MaybeGuard() {
+      if (lock_ != nullptr) lock_->unlock();
+    }
+    MaybeGuard(const MaybeGuard&) = delete;
+    MaybeGuard& operator=(const MaybeGuard&) = delete;
+
+   private:
+    util::SpinLock* lock_;
+  };
+
+  bool striped() const {
+    return concurrency_ == StoreConcurrency::kStriped;
+  }
+  util::SpinLock* stripe_lock(std::size_t s) const {
+    return stripe_locks_ ? &stripe_locks_[s].lock : nullptr;
+  }
   CheckpointStore& shard_for(CheckpointIndex index) {
     return shards_[shard_of(index)];
   }
+
+  /// Relaxed add that is a plain load+store single-threaded and an atomic
+  /// RMW in striped mode (the RMW is the only thing that must not tear).
+  template <typename T>
+  void bump(std::atomic<T>& counter, T delta) {
+    if (striped()) {
+      counter.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      counter.store(counter.load(std::memory_order_relaxed) + delta,
+                    std::memory_order_relaxed);
+    }
+  }
+
   /// Global bookkeeping shared by both put overloads, after the shard
   /// accepted the checkpoint.
   void note_put(std::uint64_t bytes);
+  /// Rebuild `merged_` from the per-shard views (caller holds merged_lock_
+  /// in striped mode).
+  void rebuild_merged() const;
+  /// Shared dirty-check/rebuild protocol of stored_indices() and
+  /// snapshot_stored_indices(); caller holds merged_lock_ in striped mode.
+  void refresh_merged_locked() const;
 
   ProcessId owner_;
-  std::size_t mask_;                    // shard_count - 1
+  StoreConcurrency concurrency_;
+  std::size_t mask_;                     // shard_count - 1
   std::vector<CheckpointStore> shards_;  // each stripe is a flat store
-  std::size_t count_ = 0;
-  std::uint64_t bytes_ = 0;
+  /// One padded lock per stripe; null in kUnsynchronized mode.
+  std::unique_ptr<StripeLock[]> stripe_locks_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  /// Lifetime counters; mutated under stats_lock_ in striped mode so the
+  /// peak updates (read-max-write over count_/bytes_) stay coherent.
   Stats stats_;
-  /// Cached ascending merge of every shard's indices; rebuilt lazily.
+  mutable util::SpinLock stats_lock_;
+  /// Cached ascending merge of every shard's indices; rebuilt lazily.  The
+  /// dirty flag is atomic and the rebuild runs under merged_lock_ in striped
+  /// mode — stored_indices() used to be const-but-racy, now it is guarded.
   mutable std::vector<CheckpointIndex> merged_;
-  mutable bool merged_dirty_ = true;
+  mutable std::atomic<bool> merged_dirty_{true};
+  mutable util::SpinLock merged_lock_;
 };
 
 }  // namespace rdtgc::ckpt

@@ -1,0 +1,142 @@
+#include "harness/fleet.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::harness {
+
+FleetRunner::FleetRunner(FleetConfig config) : config_(config) {
+  std::size_t workers = config.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  contexts_.resize(workers);
+  queues_.reserve(workers);
+  util::Rng seeder(config.seed);
+  for (std::size_t w = 0; w < workers; ++w) {
+    contexts_[w].worker_id = w;
+    contexts_[w].rng = seeder.split();
+    queues_.push_back(std::make_unique<QueueShard>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+FleetRunner::~FleetRunner() {
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool FleetRunner::pop_or_steal(std::size_t w, std::size_t& out) {
+  {
+    QueueShard& own = *queues_[w];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.jobs.empty()) {
+      out = own.jobs.front();
+      own.jobs.pop_front();
+      return true;
+    }
+  }
+  // Own queue drained: steal from the victims' cold ends, scanning the ring
+  // from the right neighbour so thieves spread out instead of mobbing
+  // worker 0.
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    QueueShard& victim = *queues_[(w + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.jobs.empty()) {
+      out = victim.jobs.back();
+      victim.jobs.pop_back();
+      ++contexts_[w].steals;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FleetRunner::worker_main(std::size_t w) {
+  WorkerContext& context = contexts_[w];
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  for (;;) {
+    // Gate on job_ as well as the generation: a worker that slept through a
+    // whole batch (possible — the fast workers may drain it first) would
+    // otherwise wake between batches, see generation_ != seen with
+    // job_ == nullptr, and walk into the queues just as the next run() is
+    // dealing jobs — popping one with no job function to call.  With the
+    // gate it only ever enters a batch that is in flight, and run() cannot
+    // retire a batch while it is inside (active_workers_ accounting).
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (generation_ != seen && job_ != nullptr);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    const Job* job = job_;
+    ++active_workers_;
+    lock.unlock();
+
+    std::size_t index = 0;
+    while (pop_or_steal(w, index)) {
+      try {
+        (*job)(index, context);
+      } catch (...) {
+        std::lock_guard<std::mutex> error_lock(batch_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      ++context.jobs_run;
+      std::lock_guard<std::mutex> count_lock(batch_mutex_);
+      --remaining_;
+    }
+
+    lock.lock();
+    if (--active_workers_ == 0 && remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void FleetRunner::run(std::size_t job_count, const Job& job) {
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  RDTGC_EXPECTS(job_ == nullptr);  // run() is not reentrant
+  first_error_ = nullptr;
+  if (job_count == 0) {
+    ++batches_;
+    return;
+  }
+  // Deal the jobs round-robin; length imbalance is the stealing's problem.
+  for (std::size_t i = 0; i < job_count; ++i) {
+    QueueShard& queue = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> queue_lock(queue.mutex);
+    queue.jobs.push_back(i);
+  }
+  job_ = &job;
+  remaining_ = job_count;
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+  lock.lock();
+  done_cv_.wait(lock, [&] { return remaining_ == 0 && active_workers_ == 0; });
+  job_ = nullptr;
+  ++batches_;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+FleetRunner::Stats FleetRunner::stats() const {
+  Stats stats;
+  stats.batches = batches_;
+  for (const WorkerContext& context : contexts_) {
+    stats.jobs += context.jobs_run;
+    stats.steals += context.steals;
+  }
+  return stats;
+}
+
+}  // namespace rdtgc::harness

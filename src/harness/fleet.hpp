@@ -1,0 +1,128 @@
+// Worker-pool fleet runner: many independent simulations on all cores.
+//
+// The paper's system model (§2) is an asynchronous message-passing system
+// with no bound on relative process speeds; one simulated execution is one
+// sim::Simulator — strictly single-threaded and bit-for-bit deterministic.
+// The parallelism that maps onto real hardware is therefore ACROSS
+// executions, not inside one: a seed sweep, a parameter grid, a workload
+// matrix are embarrassingly parallel job sets.  FleetRunner owns N worker
+// threads and drives such job sets through them:
+//
+//  * Work stealing.  Jobs are dealt round-robin into one deque per worker;
+//    a worker pops its own queue from the front and, when empty, steals
+//    from a victim's back.  Simulation jobs vary wildly in length (a domino
+//    rollback storm can run 10x a quiet seed), so static partitioning would
+//    leave workers idle behind the longest bucket.
+//  * Per-worker state.  Every worker owns a WorkerContext — its id, a
+//    private util::Rng stream, and a reusable scratch arena — handed to
+//    each job it runs.  Jobs use it for worker-local buffers; nothing in a
+//    context is shared, so jobs never contend on it.
+//  * Determinism.  Scheduling decides only WHERE a job runs, never what it
+//    computes: a job must derive all randomness from its own job index /
+//    seed (not from the worker context's rng) and write its result into its
+//    own job-indexed slot.  Under that discipline a sweep's results are
+//    identical for any worker count — tests/concurrency_test.cpp pins this
+//    down by diffing a serial against a parallel run of the same seeds.
+//    Aggregation happens after run() returns, in job order (see
+//    harness/sweep.hpp's metrics::RunningStat merge step), not through
+//    shared counters.
+//
+// The pool is persistent: threads start once in the constructor, park on a
+// condition variable between batches, and exit on destruction.  run() is
+// not reentrant and the runner is not itself thread-safe — one driver
+// thread dispatches batches.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rdtgc::harness {
+
+struct FleetConfig {
+  /// Worker thread count; 0 selects std::thread::hardware_concurrency()
+  /// (minimum 1).
+  std::size_t workers = 0;
+  /// Base seed for the per-worker rng streams (worker w gets split stream
+  /// w).  Worker rngs are for worker-local decisions only — results that
+  /// must be deterministic may not consume them.
+  std::uint64_t seed = 0x666c656574ULL;  // "fleet"
+};
+
+/// Worker-owned state passed to every job the worker executes.  Reused
+/// across jobs: the scratch arena keeps its capacity, so jobs that need a
+/// temporary buffer can run allocation-free after their first execution on
+/// each worker.
+struct WorkerContext {
+  std::size_t worker_id = 0;
+  util::Rng rng{0};
+  std::vector<std::uint64_t> scratch;
+  std::uint64_t jobs_run = 0;
+  std::uint64_t steals = 0;
+};
+
+class FleetRunner {
+ public:
+  /// A job: called with the job's index in [0, job_count) and the executing
+  /// worker's context.  Must not touch state shared with other jobs except
+  /// through its own job-indexed result slot.
+  using Job = std::function<void(std::size_t job_index, WorkerContext&)>;
+
+  explicit FleetRunner(FleetConfig config = {});
+  ~FleetRunner();
+  FleetRunner(const FleetRunner&) = delete;
+  FleetRunner& operator=(const FleetRunner&) = delete;
+
+  std::size_t worker_count() const { return contexts_.size(); }
+
+  /// Execute `job(0) .. job(job_count-1)` across the pool; returns when all
+  /// have completed.  If any job throws, the remaining jobs still run and
+  /// the first exception is rethrown here.  Not reentrant.
+  void run(std::size_t job_count, const Job& job);
+
+  struct Stats {
+    std::uint64_t batches = 0;  ///< run() calls completed
+    std::uint64_t jobs = 0;     ///< jobs executed across all batches
+    std::uint64_t steals = 0;   ///< jobs a worker took from a victim's queue
+  };
+  /// Lifetime totals, aggregated from the worker contexts.  Call between
+  /// batches (not during one).
+  Stats stats() const;
+
+ private:
+  /// One worker's job queue; its own pops come off the front, thieves take
+  /// from the back, both under the queue's mutex (jobs are whole
+  /// simulations, so the lock is noise at this granularity).
+  struct QueueShard {
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+  };
+
+  void worker_main(std::size_t w);
+  /// Next job index for worker w: own front, else steal a victim's back.
+  bool pop_or_steal(std::size_t w, std::size_t& out);
+
+  FleetConfig config_;
+  std::vector<WorkerContext> contexts_;              // [w]
+  std::vector<std::unique_ptr<QueueShard>> queues_;  // [w]
+  std::vector<std::thread> threads_;
+
+  std::mutex batch_mutex_;
+  std::condition_variable work_cv_;  // workers wait here between batches
+  std::condition_variable done_cv_;  // run() waits here for batch completion
+  const Job* job_ = nullptr;         // valid while a batch is in flight
+  std::uint64_t generation_ = 0;     // bumped per batch to wake workers
+  std::size_t remaining_ = 0;        // jobs not yet finished this batch
+  std::size_t active_workers_ = 0;   // workers inside the current batch
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace rdtgc::harness

@@ -1,0 +1,41 @@
+#include "harness/sweep.hpp"
+
+#include "util/check.hpp"
+
+namespace rdtgc::harness {
+
+std::vector<SweepRun> run_seed_sweep(FleetRunner& fleet,
+                                     const std::vector<std::uint64_t>& seeds,
+                                     const SweepBody& body) {
+  RDTGC_EXPECTS(body != nullptr);
+  std::vector<SweepRun> runs(seeds.size());
+  fleet.run(seeds.size(), [&](std::size_t job, WorkerContext& worker) {
+    // Job-indexed slot: no result ever crosses between jobs, so the only
+    // thing scheduling can change is timing.
+    runs[job] = body(seeds[job], worker);
+    runs[job].seed = seeds[job];
+  });
+  return runs;
+}
+
+SweepSummary summarize_sweep(const std::vector<SweepRun>& runs) {
+  SweepSummary summary;
+  for (const SweepRun& run : runs) {
+    summary.storage.merge(run.storage);
+    summary.final_storage.add(run.final_storage);
+    summary.collected.add(static_cast<double>(run.collected));
+    summary.control_messages.add(static_cast<double>(run.control_messages));
+    summary.forced_checkpoints.add(
+        static_cast<double>(run.forced_checkpoints));
+    ++summary.runs;
+  }
+  return summary;
+}
+
+std::vector<std::uint64_t> seed_range(std::uint64_t base, std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t k = 0; k < count; ++k) seeds[k] = base + k;
+  return seeds;
+}
+
+}  // namespace rdtgc::harness

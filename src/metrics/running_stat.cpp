@@ -18,6 +18,24 @@ void RunningStat::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::uint64_t combined = count_ + other.count_;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(combined);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(combined);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = combined;
+}
+
 double RunningStat::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

@@ -13,6 +13,15 @@ namespace rdtgc::metrics {
 class RunningStat {
  public:
   void add(double x);
+
+  /// Fold another stat into this one (Chan et al.'s parallel Welford
+  /// combine): afterwards *this summarizes the union of both sample sets,
+  /// exactly as if every sample had been add()ed here.  This is how the
+  /// fleet aggregates per-simulation statistics — each worker accumulates
+  /// privately and the driver merges in a deterministic order, instead of
+  /// the workers racing on shared counters.
+  void merge(const RunningStat& other);
+
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   double variance() const;

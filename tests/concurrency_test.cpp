@@ -1,0 +1,322 @@
+// Concurrency tests: the striped store under real threads and the fleet
+// runner's scheduling/determinism contracts.
+//
+// Two kinds of assertions live here:
+//  * logical — counters, final states, and sweep figures must come out
+//    exactly right regardless of interleaving;
+//  * freedom from data races — every test is also a ThreadSanitizer probe:
+//    the `tsan` CMake preset builds this binary with -fsanitize=thread, and
+//    the old unguarded stored_indices() merged-cache rebuild (a const
+//    method mutating shared state) fails exactly these tests there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "causality/dependency_vector.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
+#include "harness/fleet.hpp"
+#include "harness/sweep.hpp"
+#include "harness/system.hpp"
+#include "metrics/storage_probe.hpp"
+#include "util/check.hpp"
+#include "util/spinlock.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+// ---- Striped store under collector threads -------------------------------
+
+TEST(ShardedStoreConcurrency, ParallelCollectorsDrainDisjointIndexSets) {
+  // Four collector threads eliminate interleaved residue classes of a
+  // pre-populated store — the multi-collector pattern the striping exists
+  // for — while the stripe locks serialize same-stripe collisions.
+  constexpr CheckpointIndex kCount = 4096;
+  constexpr int kCollectors = 4;
+  ckpt::ShardedCheckpointStore store(0, 8, ckpt::StoreConcurrency::kStriped);
+  causality::DependencyVector dv(4);
+  for (CheckpointIndex i = 0; i < kCount; ++i) store.put(i, dv, 0, 1);
+  ASSERT_EQ(store.count(), static_cast<std::size_t>(kCount));
+
+  std::vector<std::thread> collectors;
+  for (int t = 0; t < kCollectors; ++t) {
+    collectors.emplace_back([&store, t] {
+      for (CheckpointIndex i = t; i < kCount; i += kCollectors)
+        store.collect(i);
+    });
+  }
+  for (std::thread& t : collectors) t.join();
+
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_EQ(store.bytes(), 0u);
+  EXPECT_EQ(store.stats().collected, static_cast<std::uint64_t>(kCount));
+  EXPECT_TRUE(store.stored_indices().empty());
+  for (std::size_t s = 0; s < store.shard_count(); ++s)
+    EXPECT_EQ(store.shard(s).count(), 0u) << "shard " << s;
+}
+
+TEST(ShardedStoreConcurrency, ProducerCollectorsAndReadersInterleave) {
+  // A producer appends fresh checkpoints while collectors drain the old
+  // window and a reader thread continuously snapshots the merged view and
+  // probes membership — put/collect/contains/snapshot_stored_indices are
+  // the operations documented safe under concurrency.
+  constexpr CheckpointIndex kOld = 2048;
+  constexpr CheckpointIndex kNew = 2048;
+  constexpr int kCollectors = 2;
+  ckpt::ShardedCheckpointStore store(0, 8, ckpt::StoreConcurrency::kStriped);
+  causality::DependencyVector dv(4);
+  for (CheckpointIndex i = 0; i < kOld; ++i) store.put(i, dv, 0, 1);
+
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    for (CheckpointIndex i = kOld; i < kOld + kNew; ++i) store.put(i, dv, 0, 1);
+  });
+  std::vector<std::thread> collectors;
+  for (int t = 0; t < kCollectors; ++t) {
+    collectors.emplace_back([&store, t] {
+      for (CheckpointIndex i = t; i < kOld; i += kCollectors)
+        store.collect(i);
+    });
+  }
+  std::thread reader([&] {
+    std::vector<CheckpointIndex> snapshot;
+    std::uint64_t probes = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      store.snapshot_stored_indices(snapshot);
+      // Ascending and duplicate-free: each index lives in exactly one
+      // stripe and each stripe is read under its lock.
+      for (std::size_t k = 1; k < snapshot.size(); ++k)
+        ASSERT_LT(snapshot[k - 1], snapshot[k]);
+      (void)store.contains(static_cast<CheckpointIndex>(probes % (kOld + kNew)));
+      ++probes;
+    }
+  });
+
+  producer.join();
+  for (std::thread& t : collectors) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(store.count(), static_cast<std::size_t>(kNew));
+  EXPECT_EQ(store.stats().collected, static_cast<std::uint64_t>(kOld));
+  EXPECT_EQ(store.stats().stored, static_cast<std::uint64_t>(kOld + kNew));
+  const std::vector<CheckpointIndex>& live = store.stored_indices();
+  ASSERT_EQ(live.size(), static_cast<std::size_t>(kNew));
+  EXPECT_EQ(live.front(), kOld);
+  EXPECT_EQ(live.back(), kOld + kNew - 1);
+}
+
+TEST(ShardedStoreConcurrency, StoredIndicesLazyRebuildIsGuardedRegression) {
+  // Regression for the const-cache data race: stored_indices() is lazily
+  // rebuilt on first read after a mutation, and before the guard two
+  // concurrent const readers both rebuilt the shared merged_ vector.  Many
+  // readers race the first rebuild here; every one of them must observe the
+  // complete merged view, and under tsan the unguarded version reports.
+  constexpr CheckpointIndex kCount = 512;
+  constexpr int kReaders = 8;
+  ckpt::ShardedCheckpointStore store(0, 8, ckpt::StoreConcurrency::kStriped);
+  causality::DependencyVector dv(4);
+  for (CheckpointIndex i = 0; i < kCount; ++i) store.put(i, dv, 0, 1);
+  store.collect(0);  // leave the cache dirty: first reader rebuilds
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> readers;
+  std::vector<std::size_t> seen(kReaders, 0);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      seen[static_cast<std::size_t>(r)] = store.stored_indices().size();
+    });
+  }
+  while (ready.load() != kReaders) {
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  for (int r = 0; r < kReaders; ++r)
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)],
+              static_cast<std::size_t>(kCount - 1))
+        << "reader " << r << " saw a partial merged cache";
+}
+
+TEST(ShardedStoreConcurrency, StripedModeMatchesUnsynchronizedTrace) {
+  // Single-threaded equivalence: arming the locks must not change any
+  // observable — same trace, same views, same stats.
+  ckpt::ShardedCheckpointStore striped(0, 8,
+                                       ckpt::StoreConcurrency::kStriped);
+  ckpt::ShardedCheckpointStore plain(0, 8);
+  causality::DependencyVector dv(4);
+  CheckpointIndex next = 0;
+  for (int round = 0; round < 100; ++round) {
+    striped.put(next, dv, round, 2);
+    plain.put(next, dv, round, 2);
+    if (round % 3 == 2) {
+      const CheckpointIndex victim = next - 2;
+      striped.collect(victim);
+      plain.collect(victim);
+    }
+    ++next;
+    ASSERT_EQ(striped.stored_indices(), plain.stored_indices());
+    ASSERT_EQ(striped.count(), plain.count());
+    ASSERT_EQ(striped.bytes(), plain.bytes());
+    ASSERT_EQ(striped.last_index(), plain.last_index());
+  }
+  EXPECT_EQ(striped.stats().stored, plain.stats().stored);
+  EXPECT_EQ(striped.stats().collected, plain.stats().collected);
+  EXPECT_EQ(striped.stats().peak_count, plain.stats().peak_count);
+  EXPECT_EQ(striped.discard_after(50), plain.discard_after(50));
+  ASSERT_EQ(striped.stored_indices(), plain.stored_indices());
+}
+
+// ---- FleetRunner scheduling contracts ------------------------------------
+
+TEST(FleetRunner, RunsEveryJobExactlyOnce) {
+  harness::FleetRunner fleet({.workers = 4});
+  constexpr std::size_t kJobs = 300;
+  std::vector<std::atomic<int>> executed(kJobs);
+  fleet.run(kJobs, [&](std::size_t job, harness::WorkerContext&) {
+    executed[job].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t j = 0; j < kJobs; ++j)
+    ASSERT_EQ(executed[j].load(), 1) << "job " << j;
+  const harness::FleetRunner::Stats stats = fleet.stats();
+  EXPECT_EQ(stats.jobs, kJobs);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(FleetRunner, ReusableAcrossBatchesAndEmptyBatchIsFine) {
+  harness::FleetRunner fleet({.workers = 2});
+  std::atomic<int> total{0};
+  fleet.run(0, [&](std::size_t, harness::WorkerContext&) { ++total; });
+  fleet.run(10, [&](std::size_t, harness::WorkerContext&) { ++total; });
+  fleet.run(10, [&](std::size_t, harness::WorkerContext&) { ++total; });
+  EXPECT_EQ(total.load(), 20);
+  EXPECT_EQ(fleet.stats().batches, 3u);
+  EXPECT_EQ(fleet.stats().jobs, 20u);
+}
+
+TEST(FleetRunner, UnevenJobsGetStolen) {
+  // Worker 0's queue gets jobs 0,2,4,... under round-robin dealing; make
+  // worker 0's first job long so the other worker must steal to finish.
+  harness::FleetRunner fleet({.workers = 2});
+  constexpr std::size_t kJobs = 64;
+  std::atomic<int> done{0};
+  fleet.run(kJobs, [&](std::size_t job, harness::WorkerContext&) {
+    if (job == 0) {
+      // Busy-wait until nearly everything else finished: the only way the
+      // batch completes in bounded time is the other worker draining both
+      // queues.
+      while (done.load(std::memory_order_acquire) <
+             static_cast<int>(kJobs) - 1)
+        std::this_thread::yield();
+    }
+    done.fetch_add(1, std::memory_order_acq_rel);
+  });
+  EXPECT_EQ(done.load(), static_cast<int>(kJobs));
+  EXPECT_GT(fleet.stats().steals, 0u);
+}
+
+TEST(FleetRunner, FirstJobExceptionPropagatesAfterBatchCompletes) {
+  harness::FleetRunner fleet({.workers = 3});
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      fleet.run(50,
+                [&](std::size_t job, harness::WorkerContext&) {
+                  ++executed;
+                  if (job == 7) throw std::runtime_error("job 7 failed");
+                }),
+      std::runtime_error);
+  // The batch still ran to completion (remaining jobs are not abandoned).
+  EXPECT_EQ(executed.load(), 50);
+  // The pool survives the throw.
+  fleet.run(5, [&](std::size_t, harness::WorkerContext&) { ++executed; });
+  EXPECT_EQ(executed.load(), 55);
+}
+
+TEST(FleetRunner, WorkerContextsAreDistinctAndReused) {
+  harness::FleetRunner fleet({.workers = 3});
+  std::vector<std::atomic<std::uint64_t>> touched(3);
+  fleet.run(30, [&](std::size_t, harness::WorkerContext& worker) {
+    ASSERT_LT(worker.worker_id, 3u);
+    worker.scratch.push_back(worker.worker_id);
+    touched[worker.worker_id].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::uint64_t total = 0;
+  for (auto& t : touched) total += t.load();
+  EXPECT_EQ(total, 30u);
+}
+
+// ---- Sweep determinism: serial vs parallel -------------------------------
+
+harness::SweepRun simulate_one(std::uint64_t seed) {
+  // A complete miniature experiment: RDT-LGC under a randomized workload,
+  // with a storage probe — everything a Table-B cell computes.
+  harness::SystemConfig config;
+  config.process_count = 4;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.seed = seed;
+  harness::System system(config);
+  workload::WorkloadConfig wl;
+  wl.seed = seed * 31 + 7;
+  workload::WorkloadDriver driver(system.simulator(), system.node_ptrs(), wl);
+  driver.start(1500);
+  metrics::StorageProbe probe(system.simulator(),
+                              std::as_const(system).node_ptrs());
+  probe.start(25, 1500);
+  system.simulator().run();
+
+  harness::SweepRun run;
+  run.storage = probe.global_series().stat();
+  run.final_storage = static_cast<double>(system.total_stored());
+  run.collected = system.total_collected();
+  for (ProcessId p = 0; p < 4; ++p)
+    run.forced_checkpoints += system.node(p).counters().forced_checkpoints;
+  return run;
+}
+
+TEST(FleetDeterminism, SerialAndParallelSweepsProduceIdenticalFigures) {
+  const std::vector<std::uint64_t> seeds = harness::seed_range(100, 16);
+  const auto body = [](std::uint64_t seed, harness::WorkerContext&) {
+    return simulate_one(seed);
+  };
+
+  harness::FleetRunner serial({.workers = 1});
+  harness::FleetRunner parallel({.workers = 4});
+  const std::vector<harness::SweepRun> a =
+      harness::run_seed_sweep(serial, seeds, body);
+  const std::vector<harness::SweepRun> b =
+      harness::run_seed_sweep(parallel, seeds, body);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    // Bit-for-bit: the simulations are deterministic and the fleet may only
+    // change where a job ran, nothing about what it computed.
+    ASSERT_EQ(a[k].seed, b[k].seed);
+    ASSERT_EQ(a[k].final_storage, b[k].final_storage) << "seed " << a[k].seed;
+    ASSERT_EQ(a[k].collected, b[k].collected) << "seed " << a[k].seed;
+    ASSERT_EQ(a[k].forced_checkpoints, b[k].forced_checkpoints);
+    ASSERT_EQ(a[k].storage.count(), b[k].storage.count());
+    ASSERT_EQ(a[k].storage.mean(), b[k].storage.mean());
+    ASSERT_EQ(a[k].storage.variance(), b[k].storage.variance());
+  }
+
+  // And therefore the order-folded aggregates agree exactly too.
+  const harness::SweepSummary sa = harness::summarize_sweep(a);
+  const harness::SweepSummary sb = harness::summarize_sweep(b);
+  EXPECT_EQ(sa.storage.mean(), sb.storage.mean());
+  EXPECT_EQ(sa.storage.variance(), sb.storage.variance());
+  EXPECT_EQ(sa.final_storage.mean(), sb.final_storage.mean());
+  EXPECT_EQ(sa.collected.mean(), sb.collected.mean());
+  EXPECT_EQ(sa.runs, sb.runs);
+}
+
+}  // namespace
+}  // namespace rdtgc

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "causality/dependency_vector.hpp"
+#include "ccp/recorder.hpp"
 #include "ckpt/sharded_checkpoint_store.hpp"
 #include "core/rdt_lgc.hpp"
 #include "core/uc_table.hpp"
@@ -339,6 +340,68 @@ TEST(HotPathAllocations, SteadyStateBatchedReceiveIsAllocationFree) {
 }
 
 // ---- Zero allocations per shard of the sharded store ---------------------
+
+TEST(HotPathAllocations, StripedModeChurnIsAllocationFreeToo) {
+  // Arming the per-stripe locks (StoreConcurrency::kStriped) must not cost
+  // the hot path its allocation contract: spinlocks are atomic_flags, the
+  // lock array is construction-time, and the guarded merged-cache rebuild
+  // reuses the warmed buffer.
+  const std::size_t n = 32;
+  ckpt::ShardedCheckpointStore store(0, 8, ckpt::StoreConcurrency::kStriped);
+  causality::DependencyVector dv(n);
+  const CheckpointIndex window =
+      static_cast<CheckpointIndex>(2 * store.shard_count());
+  CheckpointIndex next = 0;
+  for (; next < window; ++next) store.put(next, dv, 0, 1);
+  for (CheckpointIndex g = 0; g < window / 2; ++g) store.collect(g);
+  (void)store.stored_indices();
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (int round = 0; round < 200; ++round) {
+    store.put(next, dv, 0, 1);
+    store.collect(next - window / 2);
+    ASSERT_FALSE(store.stored_indices().empty());
+    ++next;
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "striped-mode put/collect churn touched the heap";
+}
+
+TEST(HotPathAllocations, RecorderArenaMakesRecordingAllocationFree) {
+  // The recorder's per-process history arena (SoA rows, ccp/recorder.hpp)
+  // replaces the old one-heap-vector-per-recorded-checkpoint layout; after
+  // reserve() a whole run of record_checkpoint calls is zero-allocation,
+  // and rollback truncation keeps the capacity for the re-execution.
+  const std::size_t n = 16;
+  ccp::CcpRecorder recorder(n);
+  causality::DependencyVector dv(n);
+  recorder.reserve(256);
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (CheckpointIndex idx = 0; idx < 200; ++idx) {
+    dv.at(3) = idx;
+    recorder.record_checkpoint(3, idx, dv, ccp::CheckpointKind::kBasic,
+                               static_cast<SimTime>(idx));
+    dv.at(3) = idx + 1;  // interval advances past the new checkpoint
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "recording into the reserved arena touched the heap";
+  // The rows really landed in the arena and read back exactly.
+  for (CheckpointIndex idx = 0; idx < 200; idx += 50) {
+    const causality::DvView view = recorder.checkpoint_dv(3, idx);
+    ASSERT_EQ(view[3], idx);
+  }
+  // Rollback truncates rows; re-recording reuses the freed capacity.
+  recorder.record_rollback(3, 99, 200);
+  const std::uint64_t after_rollback = g_allocation_count.load();
+  dv.at(3) = 100;
+  for (CheckpointIndex idx = 100; idx < 200; ++idx) {
+    recorder.record_checkpoint(3, idx, dv, ccp::CheckpointKind::kBasic, 0);
+    dv.at(3) = idx + 1;
+  }
+  EXPECT_EQ(g_allocation_count.load() - after_rollback, 0u)
+      << "re-recording after rollback touched the heap";
+}
 
 TEST(HotPathAllocations, ShardedStoreChurnIsAllocationFreePerShard) {
   // Drive the store directly (no GC) through the put/collect churn every

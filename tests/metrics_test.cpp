@@ -51,6 +51,42 @@ TEST(RunningStat, SingleSampleHasZeroVariance) {
   EXPECT_EQ(stat.variance(), 0.0);
 }
 
+TEST(RunningStat, MergeMatchesSingleStreamExactlyOnSplits) {
+  // Chan's combine must reproduce the single-stream Welford result for any
+  // split point — this is what makes the fleet's per-worker accumulate +
+  // ordered merge equal to a serial run.
+  const std::vector<double> xs = {1.5, 2.5, 3.0, 7.25, -4.0, 0.0, 12.5, -1.0};
+  RunningStat whole;
+  for (const double x : xs) whole.add(x);
+  for (std::size_t split = 0; split <= xs.size(); ++split) {
+    RunningStat left, right;
+    for (std::size_t k = 0; k < split; ++k) left.add(xs[k]);
+    for (std::size_t k = split; k < xs.size(); ++k) right.add(xs[k]);
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count()) << "split " << split;
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-12) << "split " << split;
+    EXPECT_EQ(left.min(), whole.min()) << "split " << split;
+    EXPECT_EQ(left.max(), whole.max()) << "split " << split;
+  }
+}
+
+TEST(RunningStat, MergeWithEmptySidesIsIdentity) {
+  RunningStat stat, empty;
+  stat.add(3.0);
+  stat.add(5.0);
+  const double mean = stat.mean();
+  stat.merge(empty);  // rhs empty: no-op
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(stat.mean(), mean);
+  RunningStat target;
+  target.merge(stat);  // lhs empty: copies
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), mean);
+  EXPECT_DOUBLE_EQ(target.min(), 3.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+}
+
 TEST(TimeSeries, KeepsSamplesAndSummary) {
   TimeSeries series;
   series.push(1, 10.0);

@@ -37,7 +37,7 @@ TEST_F(RecorderTest, RecordsCheckpointsDense) {
   recorder_.record_checkpoint(0, 0, dv3(0, 0, 0), CheckpointKind::kInitial, 0);
   recorder_.record_checkpoint(0, 1, dv3(1, 0, 0), CheckpointKind::kBasic, 1);
   EXPECT_EQ(recorder_.last_stable(0), 1);
-  EXPECT_EQ(recorder_.checkpoint(0, 1).dv, dv3(1, 0, 0));
+  EXPECT_EQ(recorder_.checkpoint_dv(0, 1), dv3(1, 0, 0));
   EXPECT_EQ(recorder_.checkpoint(0, 0).kind, CheckpointKind::kInitial);
   EXPECT_EQ(recorder_.stats().checkpoints_recorded, 2u);
 }

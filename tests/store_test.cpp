@@ -247,10 +247,12 @@ TEST(ShardedCheckpointStore, CopyInPutRecyclesWithinTheOwningShard) {
 /// membership, payloads, the ascending index view, counters, stats — to
 /// match after every step.  Run across shard counts bracketing the default
 /// (1 degenerates to flat-vs-flat, 16 leaves most stripes sparse).
-void run_equivalence_trace(std::size_t shard_count, std::uint64_t seed) {
+void run_equivalence_trace(
+    std::size_t shard_count, std::uint64_t seed,
+    StoreConcurrency mode = StoreConcurrency::kUnsynchronized) {
   util::Rng rng(seed);
   CheckpointStore flat(3);
-  ShardedCheckpointStore sharded(3, shard_count);
+  ShardedCheckpointStore sharded(3, shard_count, mode);
   CheckpointIndex next = 0;
   std::vector<CheckpointIndex> live;
 
@@ -309,6 +311,15 @@ TEST(ShardedCheckpointStore, MatchesFlatStoreOnRandomizedTraces) {
   run_equivalence_trace(1, 20260725);
   run_equivalence_trace(ShardedCheckpointStore::kDefaultShardCount, 97);
   run_equivalence_trace(16, 7);
+}
+
+TEST(ShardedCheckpointStore, StripedModeMatchesFlatStoreOnRandomizedTraces) {
+  // Arming the stripe locks must leave every single-threaded observable
+  // identical (the multi-threaded interleavings live in concurrency_test).
+  run_equivalence_trace(1, 20260725, StoreConcurrency::kStriped);
+  run_equivalence_trace(ShardedCheckpointStore::kDefaultShardCount, 97,
+                        StoreConcurrency::kStriped);
+  run_equivalence_trace(16, 7, StoreConcurrency::kStriped);
 }
 
 }  // namespace
