@@ -1,11 +1,15 @@
-// Shared helpers for the reproduction benches: minimal command-line options
-// and consistent headers.  Every bench prints the paper artifact it
-// regenerates, the configuration, and a verification verdict where the paper
-// states exact facts.
+// Shared helpers for the reproduction benches: minimal command-line options,
+// consistent headers, and scratch media for the storage-backend runs.  Every
+// bench prints the paper artifact it regenerates, the configuration, and a
+// verification verdict where the paper states exact facts.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -14,6 +18,32 @@
 #include "util/table.hpp"
 
 namespace rdtgc::bench {
+
+/// Fresh scratch directory for persistent-storage-backend runs, under the
+/// platform temp dir (honors TMPDIR — point it at a tmpfs to bench the
+/// store, not the disk).  The per-process root is removed at exit; each
+/// call returns a distinct subdirectory, so families re-running with
+/// different iteration counts always get clean media.
+inline std::string scratch_dir(const std::string& tag) {
+  static const std::string root = [] {
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("rdtgc_bench_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::create_directories(path);
+    static const std::string kept = path;
+    std::atexit([] {
+      std::error_code ec;
+      std::filesystem::remove_all(kept, ec);
+    });
+    return path;
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string dir =
+      root + "/" + tag + std::to_string(counter.fetch_add(1));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
 /// Tiny --key=value option parser (unknown keys are rejected).
 class Options {

@@ -8,13 +8,17 @@
 //    characterization) scale with the recorded history.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <utility>
+
+#include "bench_common.hpp"
 
 #include "causality/dependency_vector.hpp"
 #include "ccp/analysis.hpp"
 #include "ccp/precedence.hpp"
 #include "ccp/zigzag.hpp"
 #include "ckpt/sharded_checkpoint_store.hpp"
+#include "ckpt/storage_backend.hpp"
 #include "core/rdt_lgc.hpp"
 #include "core/uc_table.hpp"
 #include "harness/sweep.hpp"
@@ -290,6 +294,92 @@ void BM_ShardedChurnStripedLocked(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedChurnUnsynchronized)->Arg(4)->Arg(64)->Arg(256);
 BENCHMARK(BM_ShardedChurnStripedLocked)->Arg(4)->Arg(64)->Arg(256);
+
+// ---- Storage-backend families --------------------------------------------
+//
+// The same sliding-window churn as BM_ShardedChurn*, and the reopen+recover
+// cycle of a restart, per persistence backend (ckpt/storage_backend.hpp):
+// the deltas against the in-memory families price what durability costs on
+// the hot path, and the recover families price the recovery path itself —
+// the figure the rollback analyses care about.  Media live under TMPDIR
+// (point it at a tmpfs to bench the store, not the disk).
+
+ckpt::StorageConfig backend_config(ckpt::StorageBackendKind kind) {
+  ckpt::StorageConfig config;
+  config.kind = kind;
+  if (kind != ckpt::StorageBackendKind::kInMemory)
+    config.directory = bench::scratch_dir("run");
+  return config;
+}
+
+void BM_BackendChurn(benchmark::State& state, ckpt::StorageBackendKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::ShardedCheckpointStore store(
+      0, ckpt::ShardedCheckpointStore::kDefaultShardCount,
+      ckpt::StoreConcurrency::kUnsynchronized, backend_config(kind));
+  causality::DependencyVector dv(n);
+  CheckpointIndex next = 0;
+  const CheckpointIndex window =
+      static_cast<CheckpointIndex>(2 * store.shard_count());
+  for (; next < window; ++next) store.put(next, dv, 0, 1);
+  for (CheckpointIndex g = 0; g < window / 2; ++g) store.collect(g);
+  for (auto _ : state) {
+    for (int k = 0; k < kShardedBatch; ++k) {
+      store.put(next, dv, 0, 1);
+      store.collect(next - window / 2);
+      ++next;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kShardedBatch);
+}
+void BM_BackendChurnMemory(benchmark::State& state) {
+  BM_BackendChurn(state, ckpt::StorageBackendKind::kInMemory);
+}
+void BM_BackendChurnMmap(benchmark::State& state) {
+  BM_BackendChurn(state, ckpt::StorageBackendKind::kMmapFile);
+}
+void BM_BackendChurnLog(benchmark::State& state) {
+  BM_BackendChurn(state, ckpt::StorageBackendKind::kLogStructured);
+}
+BENCHMARK(BM_BackendChurnMemory)->Arg(4)->Arg(64);
+BENCHMARK(BM_BackendChurnMmap)->Arg(4)->Arg(64);
+BENCHMARK(BM_BackendChurnLog)->Arg(4)->Arg(64);
+
+// Reopen-from-disk cost: Arg live checkpoints survive (after a churn that
+// also left an equal measure of dead records/slots on the medium, as a real
+// GC would); each iteration attaches to the media and runs the full
+// recover() rebuild — the storage half of an Algorithm-3 restart.
+void BM_RollbackRecover(benchmark::State& state,
+                        ckpt::StorageBackendKind kind) {
+  const auto live = static_cast<CheckpointIndex>(state.range(0));
+  ckpt::StorageConfig config = backend_config(kind);
+  {
+    ckpt::ShardedCheckpointStore store(
+        0, ckpt::ShardedCheckpointStore::kDefaultShardCount,
+        ckpt::StoreConcurrency::kUnsynchronized, config);
+    causality::DependencyVector dv(8);
+    for (CheckpointIndex i = 0; i < 2 * live; ++i) store.put(i, dv, 0, 1);
+    for (CheckpointIndex g = 0; g < live; ++g) store.collect(g);
+    store.flush();
+  }
+  config.open_mode = ckpt::OpenMode::kAttach;
+  for (auto _ : state) {
+    ckpt::ShardedCheckpointStore store(
+        0, ckpt::ShardedCheckpointStore::kDefaultShardCount,
+        ckpt::StoreConcurrency::kUnsynchronized, config);
+    benchmark::DoNotOptimize(store.recover());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(live));
+}
+void BM_RollbackRecoverMmap(benchmark::State& state) {
+  BM_RollbackRecover(state, ckpt::StorageBackendKind::kMmapFile);
+}
+void BM_RollbackRecoverLog(benchmark::State& state) {
+  BM_RollbackRecover(state, ckpt::StorageBackendKind::kLogStructured);
+}
+BENCHMARK(BM_RollbackRecoverMmap)->Arg(64)->Arg(512);
+BENCHMARK(BM_RollbackRecoverLog)->Arg(64)->Arg(512);
 
 void rollback_setup(std::size_t n, ckpt::ShardedCheckpointStore& store,
                     core::RdtLgc& lgc) {

@@ -1,16 +1,24 @@
 // T-E: rollback cost under failures (§2.4 and [1]) and garbage collection
 // during recovery sessions (Algorithm 3).
 //
-// Three comparisons on identical failure schedules:
+// Four comparisons on identical failure schedules:
 //  * uncoordinated vs FDAS: lost work per failure (the domino risk, Def. 5);
 //  * Algorithm 3 with global information (LI) vs causal-only (DV): extra
 //    checkpoints collected during recovery;
-//  * GC safety across failures (verdict from the Theorem-1 oracle).
+//  * GC safety across failures (verdict from the Theorem-1 oracle);
+//  * persistence backends (in-memory / mmap / log-structured): identical
+//    rollback figures, plus a full restart-from-disk at the end of the run —
+//    stores reopened via recover() must reproduce the live stored sets and
+//    the Lemma-1 recovery line ("disk restart" column).
+#include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "ccp/analysis.hpp"
 #include "ccp/precedence.hpp"
+#include "ckpt/sharded_checkpoint_store.hpp"
+#include "ckpt/storage_backend.hpp"
 #include "harness/system.hpp"
 #include "recovery/failure_injector.hpp"
 #include "recovery/recovery_manager.hpp"
@@ -27,17 +35,35 @@ struct Row {
   std::uint64_t discarded = 0;
   std::uint64_t collected = 0;
   bool safe = true;
+  /// Full restart-from-disk check (persistent backends): reopened stores
+  /// reproduce the live stored sets and the Lemma-1 recovery line.
+  enum class Restart { kNotApplicable, kOk, kFailed };
+  Restart restart = Restart::kNotApplicable;
 };
+
+const char* restart_cell(Row::Restart restart) {
+  switch (restart) {
+    case Row::Restart::kNotApplicable:
+      return "n/a";
+    case Row::Restart::kOk:
+      return "yes";
+    case Row::Restart::kFailed:
+      return "NO";
+  }
+  return "?";
+}
 
 Row run(const std::string& name, ckpt::ProtocolKind protocol,
         harness::GcChoice gc, bool global_info,
         recovery::LineAlgorithm line_algorithm, std::size_t n,
-        SimTime duration, std::uint64_t seed) {
+        SimTime duration, std::uint64_t seed,
+        const ckpt::StorageConfig& storage = {}) {
   harness::SystemConfig config;
   config.process_count = n;
   config.protocol = protocol;
   config.gc = gc;
   config.seed = seed;
+  config.node.storage = storage;
   harness::System system(config);
 
   workload::WorkloadConfig wl;
@@ -77,6 +103,38 @@ Row run(const std::string& name, ckpt::ProtocolKind protocol,
       if (!obsolete[static_cast<std::size_t>(p)][static_cast<std::size_t>(g)] &&
           !system.node(p).store().contains(g))
         row.safe = false;
+
+  if (storage.kind != ckpt::StorageBackendKind::kInMemory) {
+    // Full restart from the persisted media: reopen every store, recover,
+    // and require the stored sets and the Lemma-1 recovery line back.
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p)
+      system.node(p).store().flush();
+    ckpt::StorageConfig attach = storage;
+    attach.open_mode = ckpt::OpenMode::kAttach;
+    std::vector<std::unique_ptr<ckpt::ShardedCheckpointStore>> reopened;
+    std::vector<const ckpt::ShardedCheckpointStore*> ptrs;
+    bool ok = true;
+    for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+      reopened.push_back(std::make_unique<ckpt::ShardedCheckpointStore>(
+          p, ckpt::ShardedCheckpointStore::kDefaultShardCount,
+          ckpt::StoreConcurrency::kUnsynchronized, attach));
+      reopened.back()->recover();
+      ok = ok && reopened.back()->stored_indices() ==
+                     system.node(p).store().stored_indices();
+      ptrs.push_back(reopened.back().get());
+    }
+    if (ok) {
+      const ccp::DvPrecedence dv_causal(system.recorder());
+      std::vector<bool> all_faulty(n, true);
+      const std::vector<CheckpointIndex> oracle = ccp::recovery_line_lemma1(
+          system.recorder(), dv_causal, all_faulty);
+      const std::vector<CheckpointIndex> line =
+          recovery::recovery_line_from_storage(ptrs);
+      for (std::size_t p = 0; p < n; ++p)
+        ok = ok && line[p] == std::min(oracle[p], ptrs[p]->last_index());
+    }
+    row.restart = ok ? Row::Restart::kOk : Row::Restart::kFailed;
+  }
   return row;
 }
 
@@ -90,7 +148,7 @@ int main(int argc, char** argv) {
   bench::banner("T-E: rollback cost and recovery-time collection");
 
   util::Table table({"configuration", "sessions", "rolled-back/session",
-                     "discarded", "collected", "GC safe"});
+                     "discarded", "collected", "GC safe", "disk restart"});
   std::vector<Row> rows;
   rows.push_back(run("uncoordinated + no GC (R-graph line)",
                      ckpt::ProtocolKind::kUncoordinated,
@@ -107,6 +165,22 @@ int main(int argc, char** argv) {
                      ckpt::ProtocolKind::kFdas, harness::GcChoice::kRdtLgc,
                      false, recovery::LineAlgorithm::kLemma1, n, duration,
                      seed));
+  // Persistence backends under the identical schedule as the in-memory
+  // RDT-LGC+LI row: same rollback figures, plus the restart-from-disk check.
+  ckpt::StorageConfig mmap_cfg;
+  mmap_cfg.kind = ckpt::StorageBackendKind::kMmapFile;
+  mmap_cfg.directory = bench::scratch_dir("mmap");
+  rows.push_back(run("FDAS + RDT-LGC, LI, mmap storage",
+                     ckpt::ProtocolKind::kFdas, harness::GcChoice::kRdtLgc,
+                     true, recovery::LineAlgorithm::kLemma1, n, duration,
+                     seed, mmap_cfg));
+  ckpt::StorageConfig log_cfg;
+  log_cfg.kind = ckpt::StorageBackendKind::kLogStructured;
+  log_cfg.directory = bench::scratch_dir("log");
+  rows.push_back(run("FDAS + RDT-LGC, LI, log storage",
+                     ckpt::ProtocolKind::kFdas, harness::GcChoice::kRdtLgc,
+                     true, recovery::LineAlgorithm::kLemma1, n, duration,
+                     seed, log_cfg));
   bool all_safe = true;
   for (const Row& row : rows) {
     all_safe = all_safe && row.safe;
@@ -116,7 +190,8 @@ int main(int argc, char** argv) {
         .add_cell(row.mean_rolled_back)
         .add_cell(row.discarded)
         .add_cell(row.collected)
-        .add_cell(row.safe ? "yes" : "NO");
+        .add_cell(row.safe ? "yes" : "NO")
+        .add_cell(restart_cell(row.restart));
   }
   bench::emit(table,
               "n=" + std::to_string(n) + " duration=" + std::to_string(duration),
@@ -130,5 +205,23 @@ int main(int argc, char** argv) {
   bench::verdict(li_collects_more,
                  "global-information recovery (LI) collects at least as much "
                  "as the causal-only variant");
-  return (all_safe && li_collects_more) ? 0 : 1;
+  bool backends_identical = true;
+  bool restarts_ok = true;
+  for (const std::size_t b : {std::size_t{4}, std::size_t{5}}) {
+    backends_identical = backends_identical &&
+                         rows[b].sessions == rows[2].sessions &&
+                         rows[b].mean_rolled_back == rows[2].mean_rolled_back &&
+                         rows[b].discarded == rows[2].discarded &&
+                         rows[b].collected == rows[2].collected;
+    restarts_ok = restarts_ok && rows[b].restart == Row::Restart::kOk;
+  }
+  bench::verdict(backends_identical,
+                 "mmap and log-structured storage reproduce the in-memory "
+                 "rollback figures exactly");
+  bench::verdict(restarts_ok,
+                 "stores reopened from disk via recover() reproduce the "
+                 "stored sets and the Lemma-1 recovery line");
+  return (all_safe && li_collects_more && backends_identical && restarts_ok)
+             ? 0
+             : 1;
 }

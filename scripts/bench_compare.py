@@ -26,9 +26,13 @@ import re
 import sys
 
 # Families tracked for regressions (the hot paths this repo optimizes for).
+# BM_Rollback covers the binary/linear rebuild pair AND the per-backend
+# BM_RollbackRecover* restart families; BM_Backend* are the per-backend
+# churn families (memory is the no-regression reference, mmap/log price
+# durability).
 TRACKED = re.compile(
-    r"^(BM_DvMerge|BM_ReceivePath|BM_RollbackBinary)\b"
-    r"|^BM_Sharded|^BM_FleetRunner")
+    r"^(BM_DvMerge|BM_ReceivePath)\b"
+    r"|^BM_Rollback|^BM_Sharded|^BM_Backend|^BM_FleetRunner")
 
 
 def load(path):
@@ -93,7 +97,7 @@ def main():
     else:
         print("\nno tracked regressions above "
               f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
-              "BM_RollbackBinary, BM_Sharded*, BM_FleetRunner)")
+              "BM_Rollback*, BM_Sharded*, BM_Backend*, BM_FleetRunner)")
 
     if args.history:
         record = {

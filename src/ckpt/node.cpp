@@ -19,11 +19,15 @@ Node::Node(ProcessId self, std::size_t process_count,
       protocol_(std::move(protocol)),
       gc_(std::move(gc)),
       config_(config),
-      store_(self),
+      store_(self, ShardedCheckpointStore::kDefaultShardCount,
+             StoreConcurrency::kUnsynchronized, config.storage),
       dv_(process_count),
       gc_scratch_(process_count) {
   RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
   RDTGC_EXPECTS(protocol_ != nullptr && gc_ != nullptr);
+  // A Node's execution starts a fresh lineage (s^0 is stored below);
+  // attaching to existing media is a store-level recovery operation.
+  RDTGC_EXPECTS(config.storage.open_mode == OpenMode::kFresh);
   network_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
   // The recorder reads DV(v_self) straight from dv_ (stable address: Node is
   // neither copyable nor movable) — no per-event copy.

@@ -42,6 +42,12 @@ class Node {
     /// (allocation-free).  false selects the per-peer on_new_dependency
     /// reference path, kept for equivalence tests and benchmarks.
     bool batched_gc_path;
+    /// Stable-storage backend of this process's checkpoint store (default:
+    /// in-memory).  A Node always starts a fresh lineage — it stores s^0 at
+    /// construction — so OpenMode::kFresh is required; reopening existing
+    /// media happens at the store level (ShardedCheckpointStore::recover(),
+    /// see recovery::recovery_line_from_storage).
+    StorageConfig storage;
     Config() : checkpoint_bytes(1), batched_gc_path(true) {}
   };
 

@@ -8,16 +8,73 @@
 
 namespace rdtgc::ckpt {
 
+/// Store-global lifetime counters, persisted write-through so a crash loses
+/// nothing but the msync point.  Kept outside the stripes because the peaks
+/// are peaks of the GLOBAL occupancy — per-stripe peaks at different times
+/// do not sum to them.
+struct ShardedCheckpointStore::MetaHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::int32_t owner;
+  std::uint64_t shard_count;
+  PersistedStoreStats stats;
+};
+
+namespace {
+constexpr std::uint64_t kMetaMagic = 0x3141544d434754ffull;  // "RDTGCMTA1"-ish
+constexpr std::uint32_t kMetaVersion = 1;
+}  // namespace
+
+ShardedCheckpointStore::MetaHeader* ShardedCheckpointStore::meta_header() {
+  return reinterpret_cast<MetaHeader*>(meta_->data());
+}
+const ShardedCheckpointStore::MetaHeader* ShardedCheckpointStore::meta_header()
+    const {
+  return reinterpret_cast<const MetaHeader*>(meta_->data());
+}
+
 ShardedCheckpointStore::ShardedCheckpointStore(ProcessId owner,
                                                std::size_t shard_count,
-                                               StoreConcurrency concurrency)
+                                               StoreConcurrency concurrency,
+                                               const StorageConfig& storage)
     : owner_(owner),
       concurrency_(concurrency),
-      mask_(shard_count - 1),
-      shards_(shard_count, CheckpointStore(owner)) {
+      storage_(storage),
+      mask_(shard_count - 1) {
+  static_assert(sizeof(MetaHeader) == 64, "on-disk meta layout");
   RDTGC_EXPECTS(shard_count >= 1);
   RDTGC_EXPECTS((shard_count & (shard_count - 1)) == 0);  // power of two
+  if (storage_.kind == StorageBackendKind::kInMemory) {
+    // The stripes live inline and contiguous, exactly the pre-trait layout.
+    flat_shards_.assign(shard_count, CheckpointStore(owner));
+  } else {
+    backend_shards_.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s)
+      backend_shards_.push_back(make_backend(storage_, owner, s));
+  }
   if (striped()) stripe_locks_ = std::make_unique<StripeLock[]>(shard_count);
+  if (storage_.kind != StorageBackendKind::kInMemory) {
+    if (storage_.open_mode == OpenMode::kFresh) {
+      meta_ = std::make_unique<util::MappedFile>(
+          storage_.meta_file(owner), util::MappedFile::Mode::kCreate,
+          sizeof(MetaHeader));
+      MetaHeader* h = meta_header();
+      h->magic = kMetaMagic;
+      h->version = kMetaVersion;
+      h->owner = owner;
+      h->shard_count = shard_count;
+      sync_meta();
+    } else {
+      meta_ = std::make_unique<util::MappedFile>(
+          storage_.meta_file(owner), util::MappedFile::Mode::kOpenExisting, 0);
+      meta_pending_recover_ = true;
+    }
+  }
+}
+
+void ShardedCheckpointStore::sync_meta() {
+  if (!meta_) return;
+  meta_header()->stats = PersistedStoreStats::from(stats_);
 }
 
 void ShardedCheckpointStore::note_put(std::uint64_t bytes) {
@@ -33,6 +90,7 @@ void ShardedCheckpointStore::note_put(std::uint64_t bytes) {
       std::max(stats_.peak_count, count_.load(std::memory_order_relaxed));
   stats_.peak_bytes =
       std::max(stats_.peak_bytes, bytes_.load(std::memory_order_relaxed));
+  sync_meta();
   merged_dirty_.store(true, std::memory_order_release);
 }
 
@@ -48,7 +106,10 @@ void ShardedCheckpointStore::put(StoredCheckpoint checkpoint) {
   const std::size_t s = shard_of(checkpoint.index);
   {
     MaybeGuard guard(stripe_lock(s));
-    shards_[s].put(std::move(checkpoint));
+    if (!flat_shards_.empty())
+      flat_shards_[s].put(std::move(checkpoint));
+    else
+      backend_shards_[s]->put(std::move(checkpoint));
   }
   note_put(bytes);
 }
@@ -63,7 +124,10 @@ void ShardedCheckpointStore::put(CheckpointIndex index,
     // The shard's copy-in put reuses the DV buffer recycled by that shard's
     // last collect() — the per-shard recycler invariant.
     MaybeGuard guard(stripe_lock(s));
-    shards_[s].put(index, dv, stored_at, bytes);
+    if (!flat_shards_.empty())
+      flat_shards_[s].put(index, dv, stored_at, bytes);
+    else
+      backend_shards_[s]->put(index, dv, stored_at, bytes);
   }
   note_put(bytes);
 }
@@ -71,12 +135,17 @@ void ShardedCheckpointStore::put(CheckpointIndex index,
 bool ShardedCheckpointStore::contains(CheckpointIndex index) const {
   const std::size_t s = shard_of(index);
   MaybeGuard guard(stripe_lock(s));
-  return shards_[s].contains(index);
+  if (!flat_shards_.empty()) return flat_shards_[s].contains(index);
+  return backend_shards_[s]->contains(index);
 }
 
 const StoredCheckpoint& ShardedCheckpointStore::get(
     CheckpointIndex index) const {
-  return shards_[shard_of(index)].get(index);
+  return backend_at(shard_of(index)).get(index);
+}
+
+causality::DvView ShardedCheckpointStore::dv_view(CheckpointIndex index) const {
+  return backend_at(shard_of(index)).dv_view(index);
 }
 
 void ShardedCheckpointStore::collect(CheckpointIndex index) {
@@ -84,16 +153,24 @@ void ShardedCheckpointStore::collect(CheckpointIndex index) {
   std::uint64_t freed = 0;
   {
     MaybeGuard guard(stripe_lock(s));
-    CheckpointStore& shard = shards_[s];
-    const std::uint64_t before = shard.bytes();
-    shard.collect(index);  // throws if absent, before any global bookkeeping
-    freed = before - shard.bytes();
+    if (!flat_shards_.empty()) {
+      CheckpointStore& flat = flat_shards_[s];
+      const std::uint64_t before = flat.bytes();
+      flat.collect(index);  // throws if absent, before global bookkeeping
+      freed = before - flat.bytes();
+    } else {
+      StorageBackend& shard = *backend_shards_[s];
+      const std::uint64_t before = shard.bytes();
+      shard.collect(index);
+      freed = before - shard.bytes();
+    }
   }
   {
     MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
     bump(bytes_, std::uint64_t{0} - freed);
     bump(count_, std::size_t{0} - std::size_t{1});
     ++stats_.collected;
+    sync_meta();
   }
   merged_dirty_.store(true, std::memory_order_release);
 }
@@ -101,17 +178,19 @@ void ShardedCheckpointStore::collect(CheckpointIndex index) {
 std::size_t ShardedCheckpointStore::discard_after(CheckpointIndex ri) {
   std::size_t discarded = 0;
   std::uint64_t freed = 0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  for (std::size_t s = 0; s < shard_count(); ++s) {
     MaybeGuard guard(stripe_lock(s));
-    const std::uint64_t before = shards_[s].bytes();
-    discarded += shards_[s].discard_after(ri);
-    freed += before - shards_[s].bytes();
+    StorageBackend& shard = backend_at(s);
+    const std::uint64_t before = shard.bytes();
+    discarded += shard.discard_after(ri);
+    freed += before - shard.bytes();
   }
   {
     MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
     bump(bytes_, std::uint64_t{0} - freed);
     bump(count_, std::size_t{0} - discarded);
     stats_.discarded += discarded;
+    sync_meta();
   }
   merged_dirty_.store(true, std::memory_order_release);
   return discarded;
@@ -119,9 +198,11 @@ std::size_t ShardedCheckpointStore::discard_after(CheckpointIndex ri) {
 
 void ShardedCheckpointStore::rebuild_merged() const {
   merged_.clear();
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  for (std::size_t s = 0; s < shard_count(); ++s) {
     MaybeGuard guard(stripe_lock(s));
-    const std::vector<CheckpointIndex>& part = shards_[s].stored_indices();
+    const std::vector<CheckpointIndex>& part =
+        !flat_shards_.empty() ? flat_shards_[s].stored_indices()
+                              : backend_shards_[s]->stored_indices();
     merged_.insert(merged_.end(), part.begin(), part.end());
   }
   // Each shard is sorted but low-bit striping interleaves them globally;
@@ -165,10 +246,46 @@ void ShardedCheckpointStore::snapshot_stored_indices(
 
 CheckpointIndex ShardedCheckpointStore::last_index() const {
   RDTGC_EXPECTS(count() > 0);
+  // Branch once, not per stripe: this sits on every put (the strict-increase
+  // precondition), and the flat loop devirtualizes and inlines completely.
   CheckpointIndex last = kNoCheckpoint;
-  for (const CheckpointStore& shard : shards_)
-    if (shard.count() > 0) last = std::max(last, shard.last_index());
+  if (!flat_shards_.empty()) {
+    for (const CheckpointStore& shard : flat_shards_)
+      if (shard.count() > 0) last = std::max(last, shard.last_index());
+  } else {
+    for (const auto& backend : backend_shards_)
+      if (backend->count() > 0) last = std::max(last, backend->last_index());
+  }
   return last;
+}
+
+std::size_t ShardedCheckpointStore::recover() {
+  std::size_t live = 0;
+  std::uint64_t live_bytes = 0;
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    StorageBackend& stripe = backend_at(s);
+    stripe.recover();
+    live += stripe.count();
+    live_bytes += stripe.bytes();
+  }
+  count_.store(live, std::memory_order_relaxed);
+  bytes_.store(live_bytes, std::memory_order_relaxed);
+  if (meta_pending_recover_) {
+    const MetaHeader* h = meta_header();
+    RDTGC_EXPECTS(h->magic == kMetaMagic);
+    RDTGC_EXPECTS(h->version == kMetaVersion);
+    RDTGC_EXPECTS(h->owner == owner_);
+    RDTGC_EXPECTS(h->shard_count == shard_count());
+    stats_ = h->stats.to_stats();
+    meta_pending_recover_ = false;
+  }
+  merged_dirty_.store(true, std::memory_order_relaxed);
+  return live;
+}
+
+void ShardedCheckpointStore::flush() {
+  for (std::size_t s = 0; s < shard_count(); ++s) backend_at(s).flush();
+  if (meta_) meta_->sync();
 }
 
 }  // namespace rdtgc::ckpt

@@ -60,10 +60,31 @@
 // the stripes every shard's spare is primed and the cycle never allocates —
 // the contract tests/hot_path_test.cpp enforces per shard, in both modes.
 //
+// Persistence.  Each stripe is a ckpt::StorageBackend chosen once at
+// construction (StorageConfig): the in-memory flat store (the default and
+// the zero-allocation reference), an mmap'd segment file, or a
+// log-structured append-only log (storage_backend.hpp has the trait and
+// backend overview).  The stripe files are per (owner, stripe) inside
+// StorageConfig::directory; a store-global meta segment
+// (StorageConfig::meta_file) carries the cross-shard lifetime counters,
+// whose peaks are peaks of the GLOBAL occupancy and therefore cannot be
+// reconstructed from per-stripe state alone.  The meta header is
+// write-through (updated under the stats guard on every mutation), so an
+// unclean drop loses only the durability point, not the counters.
+// Reopening: construct with OpenMode::kAttach over the same directory and
+// call recover(), which rebuilds every stripe's in-memory index from its
+// medium and restores the global counters — the entry point
+// recovery::recovery_line_from_storage() builds a full restart-from-disk
+// on.  A useful property of the media: within one stripe, live records
+// appear in ascending index order (puts are strictly increasing within a
+// lineage, and a rollback kills the whole suffix above its restore point
+// before any index is reused), so recovery replays straight into the flat
+// mirror without sorting.
+//
 // Public interface and contracts are otherwise identical to CheckpointStore
 // (the flat store remains as the single-stripe reference implementation; the
-// two are property-tested for observable equivalence in
-// tests/store_test.cpp), plus shard introspection used by tests, benches,
+// backends are property-tested against it in tests/store_test.cpp and
+// tests/backend_test.cpp), plus shard introspection used by tests, benches,
 // and the architecture docs.
 #pragma once
 
@@ -75,6 +96,8 @@
 #include "causality/dependency_vector.hpp"
 #include "causality/types.hpp"
 #include "ckpt/checkpoint_store.hpp"
+#include "ckpt/storage_backend.hpp"
+#include "util/mapped_file.hpp"
 #include "util/spinlock.hpp"
 
 namespace rdtgc::ckpt {
@@ -95,16 +118,23 @@ class ShardedCheckpointStore {
   /// `shard_count` must be a power of two (>= 1); one stripe degenerates to
   /// the flat store.  Allocates the stripes (and, in kStriped mode, one
   /// cache-line-padded lock per stripe); everything after construction
-  /// follows the per-method allocation contracts below.
+  /// follows the per-method allocation contracts below.  `storage` selects
+  /// the per-stripe persistence backend (default: in-memory, whose per-op
+  /// contracts are exactly the flat store's); with OpenMode::kAttach the
+  /// store opens existing media and recover() must run before any mutation.
   explicit ShardedCheckpointStore(
       ProcessId owner, std::size_t shard_count = kDefaultShardCount,
-      StoreConcurrency concurrency = StoreConcurrency::kUnsynchronized);
+      StoreConcurrency concurrency = StoreConcurrency::kUnsynchronized,
+      const StorageConfig& storage = StorageConfig());
 
   /// Owning process id.  O(1), never allocates.
   ProcessId owner() const { return owner_; }
 
   /// Active concurrency mode.  O(1), never allocates.
   StoreConcurrency concurrency() const { return concurrency_; }
+
+  /// Storage configuration the stripes were built with.
+  const StorageConfig& storage() const { return storage_; }
 
   /// Store a new checkpoint; indices arrive in strictly increasing order
   /// within a lineage (rollback may reintroduce previously-used indices
@@ -124,11 +154,17 @@ class ShardedCheckpointStore {
   /// stripe lock in kStriped mode).  Never allocates.
   bool contains(CheckpointIndex index) const;
 
-  /// Reference into the owning shard's flat storage — invalidated by the
+  /// Reference into the owning shard's in-memory index — invalidated by the
   /// next mutation (put/collect/discard_after); copy before interleaving.
   /// Never allocates.  kStriped: requires quiescence (the reference escapes
   /// the stripe lock).
   const StoredCheckpoint& get(CheckpointIndex index) const;
+
+  /// Non-owning view of the stored dependency vector, through the owning
+  /// shard's backend (the mmap backend serves it straight from the mapped
+  /// file).  Invalidated by the next mutation.  kStriped: requires
+  /// quiescence.
+  causality::DvView dv_view(CheckpointIndex index) const;
 
   /// Garbage-collection elimination of an obsolete checkpoint.  Shard-local:
   /// erase-shifts and the recycled spare stay inside the owning stripe (and
@@ -175,21 +211,38 @@ class ShardedCheckpointStore {
   /// counts them (peaks are peaks of the global occupancy, not sums of
   /// per-shard peaks).  O(1), never allocates.  kStriped: requires
   /// quiescence (multi-word snapshot).
-  using Stats = CheckpointStore::Stats;
+  using Stats = StoreStats;
   const Stats& stats() const { return stats_; }
+
+  // ---- Persistence (see the header comment) ----
+
+  /// Rebuild every stripe's in-memory index from its persistent medium and
+  /// restore the global counters from the meta segment.  Required (once)
+  /// after constructing with OpenMode::kAttach, a no-op on a live store.
+  /// Returns the number of live checkpoints.  Requires quiescence; may
+  /// allocate (recovery is off every hot path).
+  std::size_t recover();
+
+  /// Durability point: flush every stripe's medium and the meta segment
+  /// (msync/fsync).  No-op for in-memory storage.  Requires quiescence.
+  void flush();
 
   // ---- Shard introspection (tests, benches, docs) ----
 
   /// Number of stripes.  O(1), never allocates.
-  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_count() const { return mask_ + 1; }
   /// Stripe an index maps to: low bits, index & (shard_count - 1).
   std::size_t shard_of(CheckpointIndex index) const {
     return static_cast<std::size_t>(index) & mask_;
   }
-  /// Read-only view of one stripe (its flat vectors, per-shard stats, and
-  /// live stored_indices()).  Never allocates.  kStriped: requires
-  /// quiescence.
-  const CheckpointStore& shard(std::size_t s) const { return shards_[s]; }
+  /// Read-only view of one stripe (its backend: per-shard stats, live
+  /// stored_indices(), backend-specific introspection via kind()).  Never
+  /// allocates.  kStriped: requires quiescence.
+  const StorageBackend& shard(std::size_t s) const {
+    return flat_shards_.empty()
+               ? static_cast<const StorageBackend&>(*backend_shards_[s])
+               : flat_shards_[s];
+  }
 
  private:
   /// One stripe lock on its own cache line, so collectors spinning on
@@ -221,9 +274,6 @@ class ShardedCheckpointStore {
   util::SpinLock* stripe_lock(std::size_t s) const {
     return stripe_locks_ ? &stripe_locks_[s].lock : nullptr;
   }
-  CheckpointStore& shard_for(CheckpointIndex index) {
-    return shards_[shard_of(index)];
-  }
 
   /// Relaxed add that is a plain load+store single-threaded and an atomic
   /// RMW in striped mode (the RMW is the only thing that must not tear).
@@ -240,6 +290,9 @@ class ShardedCheckpointStore {
   /// Global bookkeeping shared by both put overloads, after the shard
   /// accepted the checkpoint.
   void note_put(std::uint64_t bytes);
+  /// Copy stats_ into the mapped meta header (caller holds the stats guard
+  /// in striped mode; no-op without a meta segment).
+  void sync_meta();
   /// Rebuild `merged_` from the per-shard views (caller holds merged_lock_
   /// in striped mode).
   void rebuild_merged() const;
@@ -247,12 +300,36 @@ class ShardedCheckpointStore {
   /// snapshot_stored_indices(); caller holds merged_lock_ in striped mode.
   void refresh_merged_locked() const;
 
+  struct MetaHeader;
+  MetaHeader* meta_header();
+  const MetaHeader* meta_header() const;
+
+  /// Backend of stripe `s` through the trait (cold paths; the hot paths
+  /// branch on flat_shards_ directly so the in-memory calls devirtualize).
+  StorageBackend& backend_at(std::size_t s) {
+    return flat_shards_.empty()
+               ? static_cast<StorageBackend&>(*backend_shards_[s])
+               : flat_shards_[s];
+  }
+  const StorageBackend& backend_at(std::size_t s) const { return shard(s); }
+
   ProcessId owner_;
   StoreConcurrency concurrency_;
-  std::size_t mask_;                     // shard_count - 1
-  std::vector<CheckpointStore> shards_;  // each stripe is a flat store
+  StorageConfig storage_;
+  std::size_t mask_;  // shard_count - 1
+  /// In-memory mode: the stripes themselves, contiguous — the exact
+  /// pre-trait memory layout, so the default configuration's churn path
+  /// pays one predictable branch and zero extra indirection (CheckpointStore
+  /// is final; calls on the vector elements devirtualize and inline).
+  /// Empty when a persistent backend is selected.
+  std::vector<CheckpointStore> flat_shards_;
+  /// Persistent modes: one backend per stripe.  Empty in in-memory mode.
+  std::vector<std::unique_ptr<StorageBackend>> backend_shards_;
   /// One padded lock per stripe; null in kUnsynchronized mode.
   std::unique_ptr<StripeLock[]> stripe_locks_;
+  /// Store-global meta segment (persistent kinds only): lifetime counters.
+  std::unique_ptr<util::MappedFile> meta_;
+  bool meta_pending_recover_ = false;
   std::atomic<std::size_t> count_{0};
   std::atomic<std::uint64_t> bytes_{0};
   /// Lifetime counters; mutated under stats_lock_ in striped mode so the

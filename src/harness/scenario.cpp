@@ -1,5 +1,7 @@
 #include "harness/scenario.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace rdtgc::harness {
@@ -7,21 +9,24 @@ namespace rdtgc::harness {
 namespace {
 
 SystemConfig scenario_config(std::size_t process_count,
-                             ckpt::ProtocolKind protocol, GcChoice gc) {
+                             ckpt::ProtocolKind protocol, GcChoice gc,
+                             ckpt::StorageConfig storage) {
   SystemConfig config;
   config.process_count = process_count;
   config.protocol = protocol;
   config.gc = gc;
   config.network.manual = true;
   config.network.loss_probability = 0.0;
+  config.node.storage = std::move(storage);
   return config;
 }
 
 }  // namespace
 
 Scenario::Scenario(std::size_t process_count, ckpt::ProtocolKind protocol,
-                   GcChoice gc)
-    : system_(scenario_config(process_count, protocol, gc)) {}
+                   GcChoice gc, ckpt::StorageConfig storage)
+    : system_(scenario_config(process_count, protocol, gc,
+                              std::move(storage))) {}
 
 void Scenario::tick() {
   // Advance time so every scripted action has a distinct timestamp.

@@ -18,9 +18,12 @@ namespace rdtgc::harness {
 class Scenario {
  public:
   /// A scenario always uses manual delivery and no loss; `protocol` and `gc`
-  /// choose the middleware under test.
+  /// choose the middleware under test, and `storage` the stable-storage
+  /// backend every process persists its checkpoints through (default:
+  /// in-memory; see ckpt/storage_backend.hpp for the mmap and log-structured
+  /// choices — a scripted figure can then be replayed against real media).
   Scenario(std::size_t process_count, ckpt::ProtocolKind protocol,
-           GcChoice gc);
+           GcChoice gc, ckpt::StorageConfig storage = {});
 
   /// p sends a message, remembered under `label` (e.g. "m1").
   void send(ProcessId p, ProcessId dst, const std::string& label);

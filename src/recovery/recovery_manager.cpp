@@ -8,6 +8,43 @@
 
 namespace rdtgc::recovery {
 
+std::vector<CheckpointIndex> recovery_line_from_storage(
+    const std::vector<const ckpt::ShardedCheckpointStore*>& stores) {
+  const std::size_t n = stores.size();
+  RDTGC_EXPECTS(n >= 1);
+  std::vector<CheckpointIndex> last(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    RDTGC_EXPECTS(stores[p] != nullptr);
+    RDTGC_EXPECTS(stores[p]->count() > 0);
+    last[p] = stores[p]->last_index();
+  }
+  // Lemma 1 with F = all processes, over stored DVs: line[i] is the latest
+  // stored γ with ∀f: s_f^last ↛ c_i^γ.  Since no volatile state survives a
+  // full restart, entries are capped at the last stored index — against the
+  // recorder oracle this is min(recovery_line_lemma1(all faulty), last).
+  std::vector<CheckpointIndex> line(n, kNoCheckpoint);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<CheckpointIndex>& stored = stores[i]->stored_indices();
+    // s_f^last → c_i^γ is monotone in γ: scan stored indices descending.
+    for (auto it = stored.rbegin(); it != stored.rend(); ++it) {
+      const causality::DvView dv = stores[i]->dv_view(*it);
+      bool excluded = false;
+      for (std::size_t f = 0; f < n && !excluded; ++f) {
+        if (f == i) continue;  // last[i] < DV(s_i^γ)[i] = γ is impossible
+        excluded = dv.precedes_this(static_cast<ProcessId>(f), last[f]);
+      }
+      if (!excluded) {
+        line[i] = *it;
+        break;
+      }
+    }
+    // Theorem 1: the recovery-line member is non-obsolete, so it was never
+    // collected and the scan cannot come up empty.
+    RDTGC_ENSURES(line[i] != kNoCheckpoint);
+  }
+  return line;
+}
+
 RecoveryManager::RecoveryManager(sim::Simulator& simulator,
                                  sim::Network& network,
                                  ccp::CcpRecorder& recorder,

@@ -46,6 +46,23 @@ struct RecoveryOutcome {
   std::uint64_t general_checkpoints_rolled_back = 0;
 };
 
+/// Recovery line of a FULL restart from stable storage alone (§2.4 taken to
+/// its limit: every process failed, no volatile state, no recorder — only
+/// what the persistent checkpoint-store backends wrote to disk survives).
+///
+/// `stores` holds one reopened store per process (constructed with
+/// OpenMode::kAttach over the original directory, then recover()ed — see
+/// ckpt/sharded_checkpoint_store.hpp).  The line is Lemma 1 specialized to
+/// F = all processes, evaluated over the STORED dependency vectors through
+/// the backend trait's dv_view (Equation 2: c_a^α → c_b^β ⇔ α < DV(c_b^β)[a]):
+/// per process the latest stored checkpoint not causally preceded by any
+/// peer's last stored checkpoint.  Theorem 1 guarantees the line's members
+/// were never collected, so an entry always exists; RD-trackability makes
+/// the result exact.  Throws ContractViolation on an empty store (a process
+/// with no recovered checkpoint cannot restart).
+std::vector<CheckpointIndex> recovery_line_from_storage(
+    const std::vector<const ckpt::ShardedCheckpointStore*>& stores);
+
 class RecoveryManager {
  public:
   struct Config {

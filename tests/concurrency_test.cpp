@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "causality/dependency_vector.hpp"
+#include "ckpt/checkpoint_store.hpp"
 #include "ckpt/sharded_checkpoint_store.hpp"
 #include "harness/fleet.hpp"
 #include "harness/sweep.hpp"
 #include "harness/system.hpp"
+#include "helpers.hpp"
 #include "metrics/storage_probe.hpp"
 #include "util/check.hpp"
 #include "util/spinlock.hpp"
@@ -149,31 +151,85 @@ TEST(ShardedStoreConcurrency, StoredIndicesLazyRebuildIsGuardedRegression) {
 
 TEST(ShardedStoreConcurrency, StripedModeMatchesUnsynchronizedTrace) {
   // Single-threaded equivalence: arming the locks must not change any
-  // observable — same trace, same views, same stats.
+  // observable — same RandomStoreTrace schedule (the shared harness of
+  // store_test/backend_test), same views, same stats after every op.
   ckpt::ShardedCheckpointStore striped(0, 8,
                                        ckpt::StoreConcurrency::kStriped);
   ckpt::ShardedCheckpointStore plain(0, 8);
-  causality::DependencyVector dv(4);
-  CheckpointIndex next = 0;
-  for (int round = 0; round < 100; ++round) {
-    striped.put(next, dv, round, 2);
-    plain.put(next, dv, round, 2);
-    if (round % 3 == 2) {
-      const CheckpointIndex victim = next - 2;
-      striped.collect(victim);
-      plain.collect(victim);
-    }
-    ++next;
-    ASSERT_EQ(striped.stored_indices(), plain.stored_indices());
-    ASSERT_EQ(striped.count(), plain.count());
-    ASSERT_EQ(striped.bytes(), plain.bytes());
-    ASSERT_EQ(striped.last_index(), plain.last_index());
+  const test::RandomStoreTrace trace(20260726, 300);
+  for (const test::RandomStoreTrace::Op& op : trace.ops()) {
+    trace.apply(op, plain);
+    trace.apply(op, striped);
+    test::expect_stores_equal(plain, striped);
+    if (::testing::Test::HasFatalFailure()) return;
   }
-  EXPECT_EQ(striped.stats().stored, plain.stats().stored);
-  EXPECT_EQ(striped.stats().collected, plain.stats().collected);
-  EXPECT_EQ(striped.stats().peak_count, plain.stats().peak_count);
-  EXPECT_EQ(striped.discard_after(50), plain.discard_after(50));
-  ASSERT_EQ(striped.stored_indices(), plain.stored_indices());
+}
+
+TEST(ShardedStoreConcurrency, StripedMmapBackendSurvivesParallelChurn) {
+  // The tsan-covered striped+mmap stress: parallel collectors drain the old
+  // window of an mmap-backed striped store while a producer appends and a
+  // reader snapshots — the same interleaving contract as the in-memory
+  // stress above, now with every mutation also writing the mapped segment
+  // (stripe files are per stripe, so disjoint stripes touch disjoint
+  // mappings; the shared meta header is written under the stats lock).
+  // Afterwards the store is reopened from disk and must reproduce the final
+  // state exactly.
+  constexpr CheckpointIndex kOld = 512;
+  constexpr CheckpointIndex kNew = 512;
+  constexpr int kCollectors = 2;
+  test::ScratchDir dir("striped_mmap");
+  ckpt::StorageConfig config;
+  config.kind = ckpt::StorageBackendKind::kMmapFile;
+  config.directory = dir.path();
+  config.initial_slots = 4;  // force concurrent segment growth too
+  {
+    ckpt::ShardedCheckpointStore store(0, 8,
+                                       ckpt::StoreConcurrency::kStriped,
+                                       config);
+    causality::DependencyVector dv(4);
+    for (CheckpointIndex i = 0; i < kOld; ++i) store.put(i, dv, 0, 1);
+
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+      for (CheckpointIndex i = kOld; i < kOld + kNew; ++i)
+        store.put(i, dv, 0, 1);
+    });
+    std::vector<std::thread> collectors;
+    for (int t = 0; t < kCollectors; ++t) {
+      collectors.emplace_back([&store, t] {
+        for (CheckpointIndex i = t; i < kOld; i += kCollectors)
+          store.collect(i);
+      });
+    }
+    std::thread reader([&] {
+      std::vector<CheckpointIndex> snapshot;
+      while (!stop.load(std::memory_order_acquire)) {
+        store.snapshot_stored_indices(snapshot);
+        for (std::size_t k = 1; k < snapshot.size(); ++k)
+          ASSERT_LT(snapshot[k - 1], snapshot[k]);
+      }
+    });
+
+    producer.join();
+    for (std::thread& t : collectors) t.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(store.count(), static_cast<std::size_t>(kNew));
+    EXPECT_EQ(store.stats().collected, static_cast<std::uint64_t>(kOld));
+    EXPECT_EQ(store.stats().stored, static_cast<std::uint64_t>(kOld + kNew));
+  }  // dropped without flush: recover() must not need the durability point
+
+  config.open_mode = ckpt::OpenMode::kAttach;
+  ckpt::ShardedCheckpointStore reopened(
+      0, 8, ckpt::StoreConcurrency::kUnsynchronized, config);
+  ASSERT_EQ(reopened.recover(), static_cast<std::size_t>(kNew));
+  EXPECT_EQ(reopened.stats().collected, static_cast<std::uint64_t>(kOld));
+  EXPECT_EQ(reopened.stats().stored, static_cast<std::uint64_t>(kOld + kNew));
+  const std::vector<CheckpointIndex>& live = reopened.stored_indices();
+  ASSERT_EQ(live.size(), static_cast<std::size_t>(kNew));
+  EXPECT_EQ(live.front(), kOld);
+  EXPECT_EQ(live.back(), kOld + kNew - 1);
 }
 
 // ---- FleetRunner scheduling contracts ------------------------------------

@@ -1,5 +1,6 @@
-// Shared test utilities: system assembly and the paper's invariants as
-// reusable audits.
+// Shared test utilities: system assembly, the paper's invariants as
+// reusable audits, and the randomized stable-storage trace harness every
+// checkpoint-store backend is held to.
 //
 // The audits map one-to-one onto the paper's claims:
 //  * audit_eq2                 — Equation 2: DV-derived precedence equals
@@ -13,12 +14,29 @@
 //                                optimality of RDT-LGC);
 //  * audit_eq4                 — the Theorem-3 invariant on UC entries;
 //  * audit_bounds              — ≤ n stored per process, ≤ n+1 transient.
+//
+// The storage harness:
+//  * RandomStoreTrace          — one seeded randomized put/collect/discard
+//                                schedule, replayable into ANY store-shaped
+//                                object (flat CheckpointStore, sharded
+//                                store, or a bare StorageBackend) so the
+//                                same trace drives every implementation;
+//  * expect_stores_equal       — the full observable-state comparison
+//                                (indices, counters, stats, DV contents)
+//                                used by every backend-equivalence test;
+//  * ScratchDir                — RAII temp directory under TMPDIR for the
+//                                persistent backends (CI points TMPDIR at a
+//                                tmpfs so sanitizer runs never touch disk).
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,7 +44,9 @@
 #include "ccp/analysis.hpp"
 #include "ccp/precedence.hpp"
 #include "ccp/zigzag.hpp"
+#include "ckpt/checkpoint_store.hpp"
 #include "harness/system.hpp"
+#include "util/rng.hpp"
 #include "workload/workload.hpp"
 
 namespace rdtgc::test {
@@ -140,6 +160,9 @@ struct RunSpec {
   std::uint64_t seed = 1;
   double loss = 0.0;
   double checkpoint_probability = 0.2;
+  /// Stable-storage backend of every process (persistent kinds need a
+  /// directory, e.g. from a ScratchDir).
+  ckpt::StorageConfig storage;
 };
 
 inline std::unique_ptr<harness::System> run_workload(const RunSpec& spec) {
@@ -149,6 +172,7 @@ inline std::unique_ptr<harness::System> run_workload(const RunSpec& spec) {
   config.gc = spec.gc;
   config.seed = spec.seed;
   config.network.loss_probability = spec.loss;
+  config.node.storage = spec.storage;
   auto system = std::make_unique<harness::System>(config);
 
   workload::WorkloadConfig wl;
@@ -160,5 +184,163 @@ inline std::unique_ptr<harness::System> run_workload(const RunSpec& spec) {
   system->simulator().run();
   return system;
 }
+
+// ---- Randomized stable-storage trace harness ------------------------------
+
+/// One seeded randomized schedule of stable-storage operations — the
+/// contract every checkpoint-store implementation is property-tested
+/// against.  The schedule is generated eagerly (so every store replays the
+/// IDENTICAL operation sequence, including the same mix of value-put and
+/// copy-in-put overloads) and maintains a live set the way the middleware
+/// does: puts are strictly increasing within a lineage with occasional
+/// index gaps (stripes fill unevenly), collects hit a random live
+/// checkpoint (GC eliminations), and a discard_after rolls the lineage back
+/// and may reuse indices.  Put payloads (DV contents, byte sizes,
+/// timestamps) are deterministic functions of the op, so two replays store
+/// bit-identical data.
+class RandomStoreTrace {
+ public:
+  struct Op {
+    enum class Kind { kPut, kPutCopyIn, kCollect, kDiscardAfter };
+    Kind kind;
+    CheckpointIndex index;
+    std::uint64_t bytes;
+    SimTime at;
+  };
+
+  explicit RandomStoreTrace(std::uint64_t seed, int steps = 400,
+                            std::size_t dv_width = 4)
+      : dv_width_(dv_width) {
+    util::Rng rng(seed);
+    CheckpointIndex next = 0;
+    std::vector<CheckpointIndex> live;
+    ops_.reserve(static_cast<std::size_t>(steps));
+    for (int step = 0; step < steps; ++step) {
+      const double dice = rng.uniform01();
+      if (live.empty() || dice < 0.55) {
+        // put: sometimes skip indices so stripes fill unevenly.
+        next += static_cast<CheckpointIndex>(1 + rng.uniform(3));
+        Op op;
+        op.kind = rng.bernoulli(0.5) ? Op::Kind::kPut : Op::Kind::kPutCopyIn;
+        op.index = next;
+        op.bytes = 1 + rng.uniform(8);
+        op.at = static_cast<SimTime>(step);
+        ops_.push_back(op);
+        live.push_back(next);
+      } else if (dice < 0.9) {
+        // collect a random live checkpoint (a GC elimination).
+        const std::size_t k = rng.uniform(live.size());
+        ops_.push_back(Op{Op::Kind::kCollect, live[k], 0, 0});
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        // rollback discard after a random live checkpoint.
+        const CheckpointIndex ri = live[rng.uniform(live.size())];
+        ops_.push_back(Op{Op::Kind::kDiscardAfter, ri, 0, 0});
+        std::erase_if(live, [ri](CheckpointIndex g) { return g > ri; });
+        next = ri;  // lineage restart: indices may be reused
+      }
+    }
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t dv_width() const { return dv_width_; }
+
+  /// The dependency vector a put op stores: a deterministic function of the
+  /// op, so every replay of the trace stores identical payloads.
+  causality::DependencyVector dv_for(const Op& op) const {
+    causality::DependencyVector dv(dv_width_);
+    for (std::size_t j = 0; j < dv_width_; ++j)
+      dv.at(static_cast<ProcessId>(j)) = static_cast<IntervalIndex>(
+          (static_cast<std::uint64_t>(op.index) * 31 + op.at * 7 + j) % 97);
+    return dv;
+  }
+
+  /// Apply one op to any store-shaped object (flat store, sharded store, or
+  /// a bare StorageBackend — they share the mutation signatures).
+  template <typename Store>
+  void apply(const Op& op, Store& store) const {
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        store.put(ckpt::StoredCheckpoint{op.index, dv_for(op), op.at,
+                                         op.bytes});
+        break;
+      case Op::Kind::kPutCopyIn: {
+        const causality::DependencyVector dv = dv_for(op);
+        store.put(op.index, dv, op.at, op.bytes);
+        break;
+      }
+      case Op::Kind::kCollect:
+        store.collect(op.index);
+        break;
+      case Op::Kind::kDiscardAfter:
+        store.discard_after(op.index);
+        break;
+    }
+  }
+
+  /// Replay the whole schedule into `store`.
+  template <typename Store>
+  void replay(Store& store) const {
+    for (const Op& op : ops_) apply(op, store);
+  }
+
+ private:
+  std::size_t dv_width_;
+  std::vector<Op> ops_;
+};
+
+/// Full observable-state equality of two stores: membership, payload DVs,
+/// the ascending index view, counters, and lifetime stats.  `reference` is
+/// usually the flat CheckpointStore the trace was also replayed into.
+template <typename Reference, typename Store>
+void expect_stores_equal(const Reference& reference, const Store& store) {
+  ASSERT_EQ(store.stored_indices(), reference.stored_indices());
+  ASSERT_EQ(store.count(), reference.count());
+  ASSERT_EQ(store.bytes(), reference.bytes());
+  ASSERT_EQ(store.stats().stored, reference.stats().stored);
+  ASSERT_EQ(store.stats().collected, reference.stats().collected);
+  ASSERT_EQ(store.stats().discarded, reference.stats().discarded);
+  ASSERT_EQ(store.stats().peak_count, reference.stats().peak_count);
+  ASSERT_EQ(store.stats().peak_bytes, reference.stats().peak_bytes);
+  if (reference.count() > 0)
+    ASSERT_EQ(store.last_index(), reference.last_index());
+  for (const CheckpointIndex g : reference.stored_indices()) {
+    ASSERT_TRUE(store.contains(g)) << "index " << g;
+    ASSERT_EQ(store.get(g).dv, reference.get(g).dv) << "index " << g;
+    ASSERT_EQ(store.get(g).bytes, reference.get(g).bytes) << "index " << g;
+    ASSERT_EQ(store.get(g).stored_at, reference.get(g).stored_at)
+        << "index " << g;
+    // The trait's zero-copy read path must agree with the owning copy (for
+    // the mmap backend this compares the mapped file against the mirror).
+    ASSERT_TRUE(store.dv_view(g) == reference.get(g).dv) << "index " << g;
+  }
+}
+
+/// RAII scratch directory for the persistent storage backends, created
+/// under the platform temp directory (honors TMPDIR — CI points it at a
+/// tmpfs) and removed, with contents, on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t id = counter.fetch_add(1);
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rdtgc_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(id)))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace rdtgc::test

@@ -403,6 +403,37 @@ TEST(HotPathAllocations, RecorderArenaMakesRecordingAllocationFree) {
       << "re-recording after rollback touched the heap";
 }
 
+TEST(HotPathAllocations, BackendTraitChurnIsAllocationFreeForInMemory) {
+  // The storage-backend trait (ckpt/storage_backend.hpp) introduces virtual
+  // dispatch on the churn path; for the in-memory backend that indirection
+  // must stay allocation-free — no type-erasure boxing, no virtual-call
+  // shims touching the heap.  Drive the flat store strictly through a
+  // StorageBackend reference, the same call shape the sharded store's
+  // stripes use for non-default backends.
+  const std::size_t n = 32;
+  ckpt::CheckpointStore flat(0);
+  ckpt::StorageBackend& backend = flat;
+  causality::DependencyVector dv(n);
+  constexpr CheckpointIndex kWindow = 8;
+  CheckpointIndex next = 0;
+  for (; next < kWindow; ++next) backend.put(next, dv, 0, 1);
+  for (CheckpointIndex g = 0; g < kWindow / 2; ++g) backend.collect(g);
+  (void)backend.stored_indices();
+
+  const std::uint64_t before = g_allocation_count.load();
+  for (int round = 0; round < 200; ++round) {
+    backend.put(next, dv, 0, 1);  // copy-in put via the recycled spare
+    backend.collect(next - kWindow / 2);
+    ASSERT_FALSE(backend.stored_indices().empty());
+    ASSERT_TRUE(backend.contains(next));
+    ASSERT_EQ(backend.dv_view(next).size(), n);  // get-DV-view, zero-copy
+    ASSERT_EQ(backend.recover(), backend.count());  // no-op on a live store
+    ++next;
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "churn through the StorageBackend trait touched the heap";
+}
+
 TEST(HotPathAllocations, ShardedStoreChurnIsAllocationFreePerShard) {
   // Drive the store directly (no GC) through the put/collect churn every
   // collector produces, spread across all stripes, and require that once

@@ -1,7 +1,9 @@
 // Unit tests for the stable-storage model: the flat ckpt::CheckpointStore,
 // the index-striped ckpt::ShardedCheckpointStore, and a randomized-trace
 // property test that the two stay observably equivalent (the flat store is
-// the sharded store's reference implementation).
+// the sharded store's reference implementation).  The trace itself is the
+// shared test::RandomStoreTrace harness — the same schedules also drive the
+// persistent backends in tests/backend_test.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,8 +11,8 @@
 
 #include "ckpt/checkpoint_store.hpp"
 #include "ckpt/sharded_checkpoint_store.hpp"
+#include "helpers.hpp"
 #include "util/check.hpp"
-#include "util/rng.hpp"
 
 namespace rdtgc::ckpt {
 namespace {
@@ -243,67 +245,21 @@ TEST(ShardedCheckpointStore, CopyInPutRecyclesWithinTheOwningShard) {
 // ---- Sharded vs flat equivalence under randomized traces ------------------
 
 /// Drives a flat reference store and a sharded store through an identical
-/// randomized put/collect/discard trace and requires every observable —
-/// membership, payloads, the ascending index view, counters, stats — to
-/// match after every step.  Run across shard counts bracketing the default
-/// (1 degenerates to flat-vs-flat, 16 leaves most stripes sparse).
+/// RandomStoreTrace schedule and requires every observable — membership,
+/// payloads, the ascending index view, counters, stats — to match after
+/// every step.  Run across shard counts bracketing the default (1
+/// degenerates to flat-vs-flat, 16 leaves most stripes sparse).
 void run_equivalence_trace(
     std::size_t shard_count, std::uint64_t seed,
     StoreConcurrency mode = StoreConcurrency::kUnsynchronized) {
-  util::Rng rng(seed);
+  const test::RandomStoreTrace trace(seed);
   CheckpointStore flat(3);
   ShardedCheckpointStore sharded(3, shard_count, mode);
-  CheckpointIndex next = 0;
-  std::vector<CheckpointIndex> live;
-
-  auto expect_equal = [&] {
-    ASSERT_EQ(sharded.stored_indices(), flat.stored_indices());
-    ASSERT_EQ(sharded.count(), flat.count());
-    ASSERT_EQ(sharded.bytes(), flat.bytes());
-    ASSERT_EQ(sharded.stats().stored, flat.stats().stored);
-    ASSERT_EQ(sharded.stats().collected, flat.stats().collected);
-    ASSERT_EQ(sharded.stats().discarded, flat.stats().discarded);
-    ASSERT_EQ(sharded.stats().peak_count, flat.stats().peak_count);
-    ASSERT_EQ(sharded.stats().peak_bytes, flat.stats().peak_bytes);
-    if (flat.count() > 0) ASSERT_EQ(sharded.last_index(), flat.last_index());
-    for (const CheckpointIndex g : flat.stored_indices()) {
-      ASSERT_TRUE(sharded.contains(g));
-      ASSERT_EQ(sharded.get(g).dv, flat.get(g).dv) << "index " << g;
-      ASSERT_EQ(sharded.get(g).bytes, flat.get(g).bytes) << "index " << g;
-      ASSERT_EQ(sharded.get(g).stored_at, flat.get(g).stored_at);
-    }
-  };
-
-  for (int step = 0; step < 400; ++step) {
-    const double dice = rng.uniform01();
-    if (live.empty() || dice < 0.55) {
-      // put: sometimes skip indices so stripes fill unevenly.
-      next += static_cast<CheckpointIndex>(1 + rng.uniform(3));
-      const auto bytes = static_cast<std::uint64_t>(1 + rng.uniform(8));
-      causality::DependencyVector dv(4);
-      dv.at(1) = next;
-      if (rng.bernoulli(0.5)) {
-        flat.put(StoredCheckpoint{next, dv, SimTime(step), bytes});
-        sharded.put(StoredCheckpoint{next, dv, SimTime(step), bytes});
-      } else {
-        flat.put(next, dv, SimTime(step), bytes);
-        sharded.put(next, dv, SimTime(step), bytes);
-      }
-      live.push_back(next);
-    } else if (dice < 0.9) {
-      // collect a random live checkpoint.
-      const std::size_t k = rng.uniform(live.size());
-      flat.collect(live[k]);
-      sharded.collect(live[k]);
-      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
-    } else {
-      // rollback discard after a random live checkpoint.
-      const CheckpointIndex ri = live[rng.uniform(live.size())];
-      ASSERT_EQ(sharded.discard_after(ri), flat.discard_after(ri));
-      std::erase_if(live, [ri](CheckpointIndex g) { return g > ri; });
-      next = ri;  // lineage restart: indices may be reused
-    }
-    expect_equal();
+  for (const test::RandomStoreTrace::Op& op : trace.ops()) {
+    trace.apply(op, flat);
+    trace.apply(op, sharded);
+    test::expect_stores_equal(flat, sharded);
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
