@@ -24,6 +24,7 @@
 #include "harness/sweep.hpp"
 #include "harness/system.hpp"
 #include "metrics/storage_probe.hpp"
+#include "recovery/recovery_manager.hpp"
 #include "workload/workload.hpp"
 
 using namespace rdtgc;
@@ -380,6 +381,78 @@ void BM_RollbackRecoverLog(benchmark::State& state) {
 }
 BENCHMARK(BM_RollbackRecoverMmap)->Arg(64)->Arg(512);
 BENCHMARK(BM_RollbackRecoverLog)->Arg(64)->Arg(512);
+
+// ---- Warm-restart families ------------------------------------------------
+//
+// The middleware half on top of BM_RollbackRecover: a whole ckpt::Node dies
+// and its replacement attaches to the same media (OpenMode::kAttach through
+// harness::System::restart_node).  BM_NodeAttach isolates the attach itself
+// — store recover, per-checkpoint certification against the recorder, UC
+// rebuild — scaled by Arg surviving checkpoints (GC off, no messages).
+// BM_ChurnRestart prices one full kill/reopen/rejoin churn cycle under
+// FDAS + RDT-LGC with a real communication history: restart plus the
+// recovery session that rejoins the fleet.
+
+void BM_NodeAttach(benchmark::State& state, ckpt::StorageBackendKind kind) {
+  const auto live = static_cast<std::int64_t>(state.range(0));
+  harness::SystemConfig config;
+  config.process_count = 2;
+  config.gc = harness::GcChoice::kNone;  // every checkpoint survives
+  config.node.storage = backend_config(kind);
+  harness::System system(config);
+  for (std::int64_t k = 1; k < live; ++k) {
+    system.simulator().run_until(system.simulator().now() + 1);
+    system.node(0).take_basic_checkpoint();
+  }
+  for (auto _ : state) {
+    system.restart_node(0);
+    benchmark::DoNotOptimize(system.node(0).current_interval());
+  }
+  state.SetItemsProcessed(state.iterations() * live);
+}
+void BM_NodeAttachMmap(benchmark::State& state) {
+  BM_NodeAttach(state, ckpt::StorageBackendKind::kMmapFile);
+}
+void BM_NodeAttachLog(benchmark::State& state) {
+  BM_NodeAttach(state, ckpt::StorageBackendKind::kLogStructured);
+}
+BENCHMARK(BM_NodeAttachMmap)->Arg(16)->Arg(128);
+BENCHMARK(BM_NodeAttachLog)->Arg(16)->Arg(128);
+
+void BM_ChurnRestart(benchmark::State& state,
+                     ckpt::StorageBackendKind kind) {
+  constexpr std::size_t kProcesses = 4;
+  harness::SystemConfig config;
+  config.process_count = kProcesses;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.node.storage = backend_config(kind);
+  harness::System system(config);
+  workload::WorkloadConfig wl;
+  wl.seed = 5;
+  workload::WorkloadDriver driver(system.simulator(), system.node_provider(),
+                                  kProcesses, wl);
+  driver.start(2000);
+  system.simulator().run();
+  recovery::RecoveryManager manager(system.simulator(), system.network(),
+                                    system.recorder(),
+                                    system.node_provider(), {});
+  ProcessId p = 0;
+  for (auto _ : state) {
+    system.restart_node(p);
+    const auto outcome = manager.recover({p});
+    benchmark::DoNotOptimize(outcome.line.data());
+    p = static_cast<ProcessId>((p + 1) % kProcesses);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_ChurnRestartMmap(benchmark::State& state) {
+  BM_ChurnRestart(state, ckpt::StorageBackendKind::kMmapFile);
+}
+void BM_ChurnRestartLog(benchmark::State& state) {
+  BM_ChurnRestart(state, ckpt::StorageBackendKind::kLogStructured);
+}
+BENCHMARK(BM_ChurnRestartMmap);
+BENCHMARK(BM_ChurnRestartLog);
 
 void rollback_setup(std::size_t n, ckpt::ShardedCheckpointStore& store,
                     core::RdtLgc& lgc) {

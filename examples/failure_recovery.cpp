@@ -3,13 +3,88 @@
 // crashes trigger recovery sessions.  Each session computes the Lemma-1
 // recovery line, rolls back the affected processes, and runs Algorithm 3 —
 // which also collects obsolete checkpoints discovered during the rollback.
+//
+// The second act is a WARM restart on real media: processes persist their
+// checkpoints through the mmap backend, the failure injector's churn mode
+// kills whole processes (Node destroyed, in-flight messages dropped), and
+// each replacement re-attaches to the same files (OpenMode::kAttach) —
+// resuming interval numbering past the highest persisted checkpoint while
+// the CCP recorder keeps certifying the global line across the death.
+#include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "harness/system.hpp"
 #include "recovery/failure_injector.hpp"
 #include "recovery/recovery_manager.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
+
+namespace {
+
+/// Act 2: continuous kill/reopen/rejoin churn over mmap media.
+void warm_restart_demo() {
+  using namespace rdtgc;
+  constexpr std::size_t kProcesses = 4;
+  constexpr SimTime kDuration = 12000;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("rdtgc_failure_recovery_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  harness::SystemConfig config;
+  config.process_count = kProcesses;
+  config.protocol = ckpt::ProtocolKind::kFdas;
+  config.gc = harness::GcChoice::kRdtLgc;
+  config.seed = 17;
+  config.node.storage.kind = ckpt::StorageBackendKind::kMmapFile;
+  config.node.storage.directory = dir.string();
+  harness::System system(config);
+
+  // Provider-based wiring: activities and recovery sessions resolve the
+  // CURRENT Node of p, so a process replaced mid-run keeps its schedule.
+  workload::WorkloadConfig wl;
+  wl.seed = 18;
+  workload::WorkloadDriver driver(system.simulator(), system.node_provider(),
+                                  kProcesses, wl);
+  driver.start(kDuration);
+
+  recovery::RecoveryManager manager(system.simulator(), system.network(),
+                                    system.recorder(),
+                                    system.node_provider(), {});
+
+  recovery::FailureInjector::Config fc;
+  fc.mean_interval = 800;
+  fc.seed = 19;
+  fc.restart_prob = 1.0;  // every failure is a full kill/reopen/rejoin
+  fc.churn_start = 1000;  // let the fleet build a lineage first
+  recovery::FailureInjector injector(
+      system.simulator(), manager, kProcesses, fc,
+      [&system](ProcessId p) { system.restart_node(p); });
+  injector.start(kDuration);
+
+  system.simulator().run();
+
+  std::cout << "\n-- warm restart on mmap media --\n"
+            << system.restarts() << " processes killed and re-attached over "
+            << injector.outcomes().size() << " churn events; "
+            << system.network().stats().dropped_in_flight
+            << " in-flight messages died with their incarnations.\n";
+  for (ProcessId p = 0; p < static_cast<ProcessId>(kProcesses); ++p) {
+    const auto& store = system.node(p).store();
+    std::cout << "  p" << static_cast<int>(p) << ": interval "
+              << system.node(p).current_interval() << ", " << store.count()
+              << " checkpoints on disk, last index " << store.last_index()
+              << "\n";
+  }
+  std::cout << "every replacement resumed past its highest persisted "
+               "checkpoint — death costs exactly the volatile interval.\n";
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
 
 int main() {
   using namespace rdtgc;
@@ -71,5 +146,7 @@ int main() {
             << kProcesses * kProcesses << ")\n"
             << "every restart state was a stored checkpoint: the collector "
                "never ate a recovery line (Theorems 3-4).\n";
+
+  warm_restart_demo();
   return 0;
 }

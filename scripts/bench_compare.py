@@ -29,10 +29,13 @@ import sys
 # BM_Rollback covers the binary/linear rebuild pair AND the per-backend
 # BM_RollbackRecover* restart families; BM_Backend* are the per-backend
 # churn families (memory is the no-regression reference, mmap/log price
-# durability).
+# durability); BM_NodeAttach*/BM_ChurnRestart* are the warm-restart
+# families (Node attach-from-storage and the full kill/reopen/rejoin
+# cycle).
 TRACKED = re.compile(
     r"^(BM_DvMerge|BM_ReceivePath)\b"
-    r"|^BM_Rollback|^BM_Sharded|^BM_Backend|^BM_FleetRunner")
+    r"|^BM_Rollback|^BM_Sharded|^BM_Backend|^BM_FleetRunner"
+    r"|^BM_NodeAttach|^BM_ChurnRestart")
 
 
 def load(path):
@@ -97,6 +100,7 @@ def main():
     else:
         print("\nno tracked regressions above "
               f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
+              "BM_NodeAttach*, BM_ChurnRestart*, "
               "BM_Rollback*, BM_Sharded*, BM_Backend*, BM_FleetRunner)")
 
     if args.history:

@@ -136,7 +136,7 @@ void CcpRecorder::attach_volatile_dv(ProcessId p,
   attached_dv_[static_cast<std::size_t>(p)] = dv;
 }
 
-void CcpRecorder::record_rollback(ProcessId p, CheckpointIndex ri, SimTime t) {
+void CcpRecorder::undo_after(ProcessId p, CheckpointIndex ri) {
   RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < checkpoints_.size());
   auto& list = checkpoints_[static_cast<std::size_t>(p)];
   RDTGC_EXPECTS(ri >= 0 && ri < static_cast<CheckpointIndex>(list.size()));
@@ -157,8 +157,30 @@ void CcpRecorder::record_rollback(ProcessId p, CheckpointIndex ri, SimTime t) {
     if (m.dst == p && m.delivered && m.recv_alive && m.recv_serial > cutoff)
       m.recv_alive = false;
   }
+}
+
+void CcpRecorder::record_rollback(ProcessId p, CheckpointIndex ri, SimTime t) {
+  undo_after(p, ri);
   ++stats_.rollbacks;
   (void)t;
+}
+
+void CcpRecorder::record_restart(ProcessId p, CheckpointIndex ri, SimTime t) {
+  // A process death undoes exactly what a rollback to the last surviving
+  // stored checkpoint undoes: the volatile interval's events.  In the usual
+  // case ri == last_stable(p) (every checkpoint is persisted when taken and
+  // the last one is never collected), so no checkpoint rows die — only the
+  // dead process's volatile-interval message endpoints.
+  undo_after(p, ri);
+  ++stats_.restarts;
+  (void)t;
+}
+
+void CcpRecorder::reattach_volatile_dv(ProcessId p,
+                                       const causality::DependencyVector* dv) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < attached_dv_.size());
+  RDTGC_EXPECTS(dv != nullptr && dv->size() == attached_dv_.size());
+  attached_dv_[static_cast<std::size_t>(p)] = dv;
 }
 
 const std::vector<CheckpointInfo>& CcpRecorder::checkpoints(

@@ -150,6 +150,23 @@ class CcpRecorder {
   /// > ri die, as do message endpoints after c_p^ri.
   void record_rollback(ProcessId p, CheckpointIndex ri, SimTime t);
 
+  /// Record that p's process died and re-attached to its media at
+  /// checkpoint `ri` (the highest index that survived on stable storage —
+  /// see ckpt::Node's OpenMode::kAttach path).  The volatile interval dies
+  /// with the process: everything after c_p^ri is undone exactly as in
+  /// record_rollback, while the surviving rows stay in place so the
+  /// Theorem-1 oracle keeps certifying the GLOBAL recovery line across the
+  /// restart instead of forgetting the pre-crash checkpoints.  The restarted
+  /// Node re-validates its recovered per-stripe DVs against these rows.
+  /// Counted in stats().restarts, not stats().rollbacks.
+  void record_restart(ProcessId p, CheckpointIndex ri, SimTime t);
+
+  /// Re-register the live DV view of a RESTARTED process: the previous
+  /// Node's vector died with it, and the warm replacement registers its own.
+  /// Unlike attach_volatile_dv this accepts (and replaces) an existing
+  /// registration.
+  void reattach_volatile_dv(ProcessId p, const causality::DependencyVector* dv);
+
   // ---- Live-CCP queries ----
 
   /// Live checkpoints of p, ascending by index; position == index.
@@ -186,10 +203,15 @@ class CcpRecorder {
     std::uint64_t checkpoints_rolled_back = 0;
     std::uint64_t messages_rolled_back = 0;
     std::uint64_t rollbacks = 0;
+    std::uint64_t restarts = 0;  ///< record_restart calls (process deaths)
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Shared undo of record_rollback/record_restart: kill checkpoints above
+  /// `ri` and every message endpoint after c_p^ri.
+  void undo_after(ProcessId p, CheckpointIndex ri);
+
   std::uint64_t next_gseq_ = 1;
   std::vector<std::vector<CheckpointInfo>> checkpoints_;  // [p] live, by index
   /// Per-process history arenas: the DV of c_p^idx is row idx of

@@ -9,4 +9,6 @@ void GarbageCollector::on_new_dependencies(std::span<const ProcessId> changed) {
 void GarbageCollector::on_peer_recovery(const std::vector<IntervalIndex>&,
                                         const causality::DependencyVector&) {}
 
+void GarbageCollector::on_attach(const causality::DependencyVector&) {}
+
 }  // namespace rdtgc::ckpt

@@ -70,6 +70,17 @@ class GarbageCollector {
   virtual void on_peer_recovery(const std::vector<IntervalIndex>& li,
                                 const causality::DependencyVector& dv);
 
+  /// Warm restart: the process died and re-attached to its recovered store
+  /// (ckpt::Node's OpenMode::kAttach path).  Called after initialize(), in
+  /// place of the initial-checkpoint on_checkpoint_stored of a fresh start;
+  /// `dv` is the already-restored dependency vector (DV(s^last) with
+  /// DV[self] incremented).  Collectors whose state is derivable from the
+  /// store rebuild it here — RDT-LGC runs the causal-only (DV) variant of
+  /// Algorithm 3, exactly as if the process had rolled back to its last
+  /// stored checkpoint.  Default: no-op (stateless baselines).  Off the hot
+  /// path; may allocate.
+  virtual void on_attach(const causality::DependencyVector& dv);
+
   /// Human-readable policy name for tables and logs.  Allocates the string.
   virtual std::string name() const = 0;
 };

@@ -25,10 +25,15 @@ Node::Node(ProcessId self, std::size_t process_count,
       gc_scratch_(process_count) {
   RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
   RDTGC_EXPECTS(protocol_ != nullptr && gc_ != nullptr);
-  // A Node's execution starts a fresh lineage (s^0 is stored below);
-  // attaching to existing media is a store-level recovery operation.
-  RDTGC_EXPECTS(config.storage.open_mode == OpenMode::kFresh);
   network_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
+  if (config.storage.open_mode == OpenMode::kAttach) {
+    attach_from_storage(process_count);
+  } else {
+    start_fresh(process_count);
+  }
+}
+
+void Node::start_fresh(std::size_t process_count) {
   // The recorder reads DV(v_self) straight from dv_ (stable address: Node is
   // neither copyable nor movable) — no per-event copy.
   recorder_.attach_volatile_dv(self_, &dv_);
@@ -36,6 +41,42 @@ Node::Node(ProcessId self, std::size_t process_count,
   // Every process starts its execution by storing a stable checkpoint s^0,
   // ensuring at least one global recoverable state (§2.2).
   take_checkpoint(ccp::CheckpointKind::kInitial);
+}
+
+void Node::attach_from_storage(std::size_t process_count) {
+  // Attaching means resuming a persisted lineage; in-memory storage holds
+  // none (its kAttach would always come up empty).
+  RDTGC_EXPECTS(config_.storage.kind != StorageBackendKind::kInMemory);
+  const std::size_t live = store_.recover();
+  // A process whose media kept no checkpoint cannot warm-start — every
+  // lineage begins with s^0 and the last checkpoint is never collected
+  // (UC[self] pins it), so an empty recovered store means foreign or
+  // corrupt media.
+  RDTGC_EXPECTS(live > 0);
+
+  // Algorithm 3 lines 5-6, applied to the restart-as-rollback: restore DV
+  // from the last surviving checkpoint and resume interval numbering past
+  // the highest persisted index.
+  const CheckpointIndex last = store_.last_index();
+  dv_ = store_.get(last).dv;
+  dv_.at(self_) += 1;
+  sent_since_checkpoint_ = false;
+
+  // The recorder observed the pre-crash lineage; the death of this process
+  // kills its volatile-interval events, and the new dv_ replaces the dead
+  // Node's registered view.
+  recorder_.record_restart(self_, last, simulator_.now());
+  recorder_.reattach_volatile_dv(self_, &dv_);
+  // Certification: the oracle's surviving rows must match the media
+  // bit-for-bit (Theorem 1 keeps holding across the restart only if the
+  // recovered DVs are exactly the recorded ones).
+  for (const CheckpointIndex g : store_.stored_indices())
+    RDTGC_ASSERT(store_.dv_view(g) == recorder_.checkpoint_dv(self_, g));
+
+  gc_->initialize(self_, process_count, store_);
+  gc_->on_attach(dv_);
+  RDTGC_DEBUG("p" << self_ << " attached at s^" << last << " dv="
+                  << dv_.to_string());
 }
 
 sim::MessageId Node::send_app_message(ProcessId dst, std::uint64_t bytes) {

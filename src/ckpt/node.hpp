@@ -43,10 +43,18 @@ class Node {
     /// reference path, kept for equivalence tests and benchmarks.
     bool batched_gc_path;
     /// Stable-storage backend of this process's checkpoint store (default:
-    /// in-memory).  A Node always starts a fresh lineage — it stores s^0 at
-    /// construction — so OpenMode::kFresh is required; reopening existing
-    /// media happens at the store level (ShardedCheckpointStore::recover(),
-    /// see recovery::recovery_line_from_storage).
+    /// in-memory).  The open mode selects the construction path:
+    ///  * OpenMode::kFresh — cold start: a fresh lineage, s^0 stored at
+    ///    construction (§2.2);
+    ///  * OpenMode::kAttach — warm restart over a persistent kind: the node
+    ///    reopens the media (ShardedCheckpointStore::recover()), restores
+    ///    its dependency vector from the last surviving checkpoint, resumes
+    ///    interval numbering past the highest persisted index, and rebuilds
+    ///    the collector's state from the recovered per-stripe DV views
+    ///    (GarbageCollector::on_attach).  A cluster-wide restart couples
+    ///    this with recovery::recovery_line_from_storage: attach every
+    ///    process, compute the Lemma-1 line over the recovered stores, then
+    ///    rollback_to() the line members.
     StorageConfig storage;
     Config() : checkpoint_bytes(1), batched_gc_path(true) {}
   };
@@ -59,8 +67,14 @@ class Node {
     std::uint64_t rollbacks = 0;
   };
 
-  /// Constructs the process, registers its delivery sink with the network,
-  /// and stores the initial stable checkpoint s^0 (§2.2).
+  /// Constructs the process and registers its delivery sink with the
+  /// network.  With OpenMode::kFresh the node then stores the initial
+  /// stable checkpoint s^0 (§2.2); with OpenMode::kAttach it instead
+  /// recovers the store from its media and resumes the persisted lineage
+  /// (see Config::storage).  Attaching requires a persistent storage kind,
+  /// at least one surviving checkpoint, and a recorder that observed the
+  /// pre-crash lineage (the oracle certifies, it is not rebuilt from media:
+  /// collected checkpoints left no trace to rebuild from).
   Node(ProcessId self, std::size_t process_count, sim::Simulator& simulator,
        sim::Network& network, ccp::CcpRecorder& recorder,
        std::unique_ptr<CheckpointingProtocol> protocol,
@@ -110,6 +124,12 @@ class Node {
  private:
   void on_receive(const sim::Message& m);
   void take_checkpoint(ccp::CheckpointKind kind);
+  /// Cold-start tail of construction: fresh lineage, store s^0.
+  void start_fresh(std::size_t process_count);
+  /// Warm-start tail of construction: recover the store, restore DV past
+  /// the highest persisted index, re-certify the recorder's rows against
+  /// the media, rebuild the collector (on_attach).
+  void attach_from_storage(std::size_t process_count);
 
   ProcessId self_;
   sim::Simulator& simulator_;

@@ -75,7 +75,19 @@ void RdtLgc::on_rollback(const ckpt::RollbackInfo& info,
   RDTGC_EXPECTS(!info.li.has_value() || info.li->size() == n_);
   RDTGC_EXPECTS(store_->contains(info.restored_index));
   RDTGC_EXPECTS(store_->last_index() == info.restored_index);
+  rebuild_from_store(info.li, dv);
+}
 
+void RdtLgc::on_attach(const causality::DependencyVector& dv) {
+  RDTGC_EXPECTS(uc_.has_value());
+  RDTGC_EXPECTS(store_->count() > 0);  // a warm start needs survivors
+  RDTGC_EXPECTS(dv[self_] == store_->last_index() + 1);
+  rebuild_from_store(std::nullopt, dv);
+}
+
+void RdtLgc::rebuild_from_store(
+    const std::optional<std::vector<IntervalIndex>>& li,
+    const causality::DependencyVector& dv) {
   // Algorithm 3 line 7: rebuild the CCBs from the surviving storage.
   // stored_indices() is the store's cached cross-shard merged view (no
   // per-call copy); `stored` and the `dvs` pointers are only valid until
@@ -95,7 +107,7 @@ void RdtLgc::on_rollback(const ckpt::RollbackInfo& info,
   // cut; otherwise the causal-only variant substitutes DV (§4.3).
   for (ProcessId f = 0; f < static_cast<ProcessId>(n_); ++f) {
     const IntervalIndex li_f =
-        info.li.has_value() ? (*info.li)[static_cast<std::size_t>(f)] : dv[f];
+        li.has_value() ? (*li)[static_cast<std::size_t>(f)] : dv[f];
     // f pins a checkpoint iff s_f^last → v_i, i.e. LI[f] <= DV(v_i)[f]
     // (in the DV variant this reduces to Theorem 2's last_k_i(f) >= 0).
     if (li_f >= 1 && li_f <= dv[f]) {
@@ -110,7 +122,7 @@ void RdtLgc::on_rollback(const ckpt::RollbackInfo& info,
         // restored knowledge of f is stale — s_f^last does not actually
         // precede the restored state, so f truly pins nothing and leaving
         // UC[f] Null is safe.
-        RDTGC_ASSERT(!info.li.has_value());
+        RDTGC_ASSERT(!li.has_value());
       }
     }
     // else: UC[f] stays Null (line 14).

@@ -52,6 +52,12 @@ class RdtLgc final : public ckpt::GarbageCollector {
                    const causality::DependencyVector& dv) override;
   void on_peer_recovery(const std::vector<IntervalIndex>& li,
                         const causality::DependencyVector& dv) override;
+  /// Warm restart (Node kAttach): rebuild the UC table from the recovered
+  /// store with the causal-only variant of Algorithm 3 — a restart IS a
+  /// rollback to the last stored checkpoint, minus the LI vector (no
+  /// recovery session has run yet; if one follows, its on_rollback re-runs
+  /// the rebuild with global information).
+  void on_attach(const causality::DependencyVector& dv) override;
   std::string name() const override { return "RDT-LGC"; }
 
   /// The UC table (read-only), e.g. for the Figure 4 trace.
@@ -68,6 +74,12 @@ class RdtLgc final : public ckpt::GarbageCollector {
       ProcessId f, IntervalIndex bound,
       const std::vector<CheckpointIndex>& stored,
       const std::vector<const causality::DependencyVector*>& dvs) const;
+
+  /// Algorithm 3 lines 7-17 shared by on_rollback and on_attach: rebuild
+  /// the CCBs from the surviving stored checkpoints and re-derive every
+  /// UC[f] from `li` (global information) or `dv` (causal-only variant).
+  void rebuild_from_store(const std::optional<std::vector<IntervalIndex>>& li,
+                          const causality::DependencyVector& dv);
 
   RollbackSearch search_;
   ProcessId self_ = -1;

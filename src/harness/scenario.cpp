@@ -49,6 +49,11 @@ void Scenario::checkpoint(ProcessId p) {
   system_.node(p).take_basic_checkpoint();
 }
 
+void Scenario::restart(ProcessId p) {
+  tick();
+  system_.restart_node(p);
+}
+
 sim::MessageId Scenario::message_id(const std::string& label) const {
   auto it = labels_.find(label);
   RDTGC_EXPECTS(it != labels_.end());

@@ -34,6 +34,13 @@ class Scenario {
   /// p takes a basic checkpoint.
   void checkpoint(ProcessId p);
 
+  /// p dies and warm-restarts from its media (System::restart_node): its
+  /// parked sends/deliveries drop, the replacement attaches to the persisted
+  /// lineage.  Requires the scenario to run on a persistent storage kind.
+  /// No recovery session is implied — scripting one (or not) is the point of
+  /// a restart scenario.
+  void restart(ProcessId p);
+
   System& system() { return system_; }
   const System& system() const { return system_; }
   ccp::CcpRecorder& recorder() { return system_.recorder(); }

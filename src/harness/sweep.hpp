@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "causality/types.hpp"
 #include "harness/fleet.hpp"
 #include "metrics/running_stat.hpp"
 
@@ -60,11 +61,52 @@ struct SweepSummary {
 /// contract).
 using SweepBody = std::function<SweepRun(std::uint64_t seed, WorkerContext&)>;
 
+/// Progress/cancellation hook for long sweeps: called once per finished job
+/// with (completed, total).  Return false to cancel — jobs not yet started
+/// are skipped (their result slots keep only the seed; summarize over
+/// runs[0..completed) or filter on a sentinel figure).  Calls are serialized
+/// but arrive from worker threads: keep the callback cheap and do not touch
+/// the results vector from it.
+using SweepProgress =
+    std::function<bool(std::size_t completed, std::size_t total)>;
+
 /// Run `body` once per seed across the fleet.  Returns the runs in seed
 /// order regardless of which worker ran what.
 std::vector<SweepRun> run_seed_sweep(FleetRunner& fleet,
                                      const std::vector<std::uint64_t>& seeds,
                                      const SweepBody& body);
+
+/// As above with a progress/cancellation hook (may be null).
+std::vector<SweepRun> run_seed_sweep(FleetRunner& fleet,
+                                     const std::vector<std::uint64_t>& seeds,
+                                     const SweepBody& body,
+                                     const SweepProgress& progress);
+
+/// One cell of a chaos grid: a (seed, churn-rate) point.  The scenario
+/// dimension lives in the body (capture the workload/protocol choice), the
+/// churn knobs here, so one grid drives deterministic kill/attach sweeps
+/// under the fleet — see recovery::FailureInjector::Config.
+struct ChurnPoint {
+  std::uint64_t seed = 0;
+  SimTime mean_interval = 1000;  ///< failure-event spacing (the churn rate)
+  double restart_prob = 1.0;     ///< kill/reopen/rejoin fraction of events
+};
+
+using ChurnBody =
+    std::function<SweepRun(const ChurnPoint& point, WorkerContext&)>;
+
+/// Run `body` once per grid point across the fleet; job-indexed result
+/// slots keep the output bit-for-bit identical for any worker count, like
+/// run_seed_sweep.  `progress` may be null.
+std::vector<SweepRun> run_churn_sweep(FleetRunner& fleet,
+                                      const std::vector<ChurnPoint>& points,
+                                      const ChurnBody& body,
+                                      const SweepProgress& progress = nullptr);
+
+/// The full seeds × mean_intervals grid, seeds varying fastest.
+std::vector<ChurnPoint> churn_grid(const std::vector<std::uint64_t>& seeds,
+                                   const std::vector<SimTime>& mean_intervals,
+                                   double restart_prob);
 
 /// Fold the runs, in order, into the cross-seed summary.
 SweepSummary summarize_sweep(const std::vector<SweepRun>& runs);

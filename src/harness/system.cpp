@@ -42,12 +42,36 @@ System::System(SystemConfig config)
                config.network) {
   RDTGC_EXPECTS(config.process_count >= 1);
   nodes_.reserve(config.process_count);
-  for (std::size_t p = 0; p < config.process_count; ++p) {
-    nodes_.push_back(std::make_unique<ckpt::Node>(
-        static_cast<ProcessId>(p), config.process_count, simulator_, network_,
-        recorder_, ckpt::make_protocol(config.protocol), make_gc(config.gc),
-        config.node));
-  }
+  for (std::size_t p = 0; p < config.process_count; ++p)
+    nodes_.push_back(
+        make_node(static_cast<ProcessId>(p), config.node.storage.open_mode));
+}
+
+std::unique_ptr<ckpt::Node> System::make_node(ProcessId p,
+                                              ckpt::OpenMode open_mode) {
+  ckpt::Node::Config node_config = config_.node;
+  node_config.storage.open_mode = open_mode;
+  return std::make_unique<ckpt::Node>(
+      p, config_.process_count, simulator_, network_, recorder_,
+      ckpt::make_protocol(config_.protocol), make_gc(config_.gc), node_config);
+}
+
+ckpt::Node& System::restart_node(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < nodes_.size());
+  // Only persistent media survive the death of their process.
+  RDTGC_EXPECTS(config_.node.storage.kind !=
+                ckpt::StorageBackendKind::kInMemory);
+  // Destroy first (the dead store closes its mappings), then drop the dead
+  // process's in-flight traffic and free the sink slot for the replacement.
+  nodes_[static_cast<std::size_t>(p)].reset();
+  network_.disconnect(p);
+  nodes_[static_cast<std::size_t>(p)] = make_node(p, ckpt::OpenMode::kAttach);
+  ++restarts_;
+  return *nodes_[static_cast<std::size_t>(p)];
+}
+
+std::function<ckpt::Node&(ProcessId)> System::node_provider() {
+  return [this](ProcessId p) -> ckpt::Node& { return node(p); };
 }
 
 ckpt::Node& System::node(ProcessId p) {

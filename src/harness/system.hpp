@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,8 +55,28 @@ class System {
   ckpt::Node& node(ProcessId p);
   const ckpt::Node& node(ProcessId p) const;
   /// Mutable borrowed pointers for drivers (workload, recovery, probes).
+  /// NOTE: restart_node() replaces the pointed-to Node — drivers of a system
+  /// under churn must use node_provider() instead.
   std::vector<ckpt::Node*> node_ptrs();
   std::vector<const ckpt::Node*> node_ptrs() const;
+
+  /// Restart-safe accessor for drivers: always resolves to the CURRENT Node
+  /// of p, surviving restart_node() replacements.  The function borrows this
+  /// System and must not outlive it.
+  std::function<ckpt::Node&(ProcessId)> node_provider();
+
+  /// Kill process p and warm-restart it from its own media: the Node is
+  /// destroyed (its volatile state dies), its in-flight messages drop
+  /// (sim::Network::disconnect), and a replacement is constructed with
+  /// OpenMode::kAttach over the same directory — the persisted lineage
+  /// resumes past the highest stored index (see ckpt::Node's attach path).
+  /// Requires a persistent storage kind in config().node.storage.  No
+  /// recovery session runs here; pair with RecoveryManager::recover({p})
+  /// to restore a consistent global line.
+  ckpt::Node& restart_node(ProcessId p);
+
+  /// Total restart_node() calls.
+  std::uint64_t restarts() const { return restarts_; }
 
   /// The RDT-LGC instance of process p; contract-checked against GcChoice.
   const core::RdtLgc& rdt_lgc(ProcessId p) const;
@@ -68,11 +89,14 @@ class System {
   const SystemConfig& config() const { return config_; }
 
  private:
+  std::unique_ptr<ckpt::Node> make_node(ProcessId p, ckpt::OpenMode open_mode);
+
   SystemConfig config_;
   sim::Simulator simulator_;
   ccp::CcpRecorder recorder_;
   sim::Network network_;
   std::vector<std::unique_ptr<ckpt::Node>> nodes_;
+  std::uint64_t restarts_ = 0;
 };
 
 }  // namespace rdtgc::harness

@@ -1,6 +1,7 @@
 #include "recovery/failure_injector.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -9,21 +10,40 @@ namespace rdtgc::recovery {
 FailureInjector::FailureInjector(sim::Simulator& simulator,
                                  RecoveryManager& manager,
                                  std::size_t process_count, Config config)
+    : FailureInjector(simulator, manager, process_count, config, nullptr) {}
+
+FailureInjector::FailureInjector(sim::Simulator& simulator,
+                                 RecoveryManager& manager,
+                                 std::size_t process_count, Config config,
+                                 RestartFn restart)
     : simulator_(simulator),
       manager_(manager),
       process_count_(process_count),
       config_(config),
+      restart_(std::move(restart)),
       rng_(config.seed) {
   RDTGC_EXPECTS(process_count_ >= 1);
   RDTGC_EXPECTS(config_.mean_interval >= 1);
+  RDTGC_EXPECTS(config_.multi_failure_prob >= 0.0 &&
+                config_.multi_failure_prob <= 1.0);
+  RDTGC_EXPECTS(config_.restart_prob >= 0.0 && config_.restart_prob <= 1.0);
+  // A window given explicitly must be non-empty and forward.
+  RDTGC_EXPECTS(config_.churn_end == 0 ||
+                config_.churn_end > config_.churn_start);
+  // Churn without a way to restart a killed process is a contradiction.
+  RDTGC_EXPECTS(config_.restart_prob == 0.0 || restart_ != nullptr);
 }
 
-void FailureInjector::start(SimTime until) { schedule_next(until); }
+void FailureInjector::start(SimTime until) {
+  RDTGC_EXPECTS(until > config_.churn_start);
+  schedule_next(config_.churn_end == 0 ? until
+                                       : std::min(until, config_.churn_end));
+}
 
 void FailureInjector::schedule_next(SimTime until) {
   const auto gap = static_cast<SimTime>(
       std::max(1.0, rng_.exponential(static_cast<double>(config_.mean_interval))));
-  const SimTime when = simulator_.now() + gap;
+  const SimTime when = std::max(simulator_.now(), config_.churn_start) + gap;
   if (when > until) return;
   simulator_.at(when, [this, until] {
     std::vector<ProcessId> faulty;
@@ -34,6 +54,14 @@ void FailureInjector::schedule_next(SimTime until) {
         second = static_cast<ProcessId>(rng_.uniform(process_count_));
       } while (second == faulty.front());
       faulty.push_back(second);
+    }
+    if (config_.restart_prob > 0.0 && rng_.bernoulli(config_.restart_prob)) {
+      // Kill/reopen/rejoin: each faulty process dies outright and re-attaches
+      // to its media before the session computes the global line.
+      for (const ProcessId p : faulty) {
+        restart_(p);
+        ++restarts_;
+      }
     }
     outcomes_.push_back(manager_.recover(faulty));
     schedule_next(until);

@@ -1,8 +1,24 @@
 // Random failure injection: schedules crash events and drives recovery
 // sessions through the RecoveryManager.  Deterministic per seed.
+//
+// Two shapes of failure exist:
+//  * in-process crash — the classic one-shot event: the faulty processes
+//    keep their objects, the RecoveryManager rolls them back to the
+//    recovery line;
+//  * kill/reopen/rejoin churn — with a restart hook installed and
+//    Config::restart_prob > 0, a failure event first KILLS each faulty
+//    process outright (the hook destroys the Node and re-attaches a
+//    replacement to the same media — harness::System::restart_node), then
+//    runs the recovery session over the rejoined fleet.  Driving the hook
+//    through std::function keeps this layer free of a harness dependency.
+//
+// Events are scheduled continuously over the churn window at
+// exponentially-distributed gaps, so a long-lived fleet sees failure as a
+// steady state rather than an event.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "recovery/recovery_manager.hpp"
@@ -11,21 +27,44 @@
 
 namespace rdtgc::recovery {
 
+/// Kill-and-reattach hook: destroy process p and warm-restart it from its
+/// media (harness::System::restart_node has the canonical implementation).
+using RestartFn = std::function<void(ProcessId)>;
+
 class FailureInjector {
  public:
   struct Config {
-    SimTime mean_interval = 1000;   ///< mean time between failures
+    SimTime mean_interval = 1000;   ///< mean time between failure events
     double multi_failure_prob = 0.2;  ///< chance a session has >1 faulty process
     std::uint64_t seed = 1;
+    /// Probability that a failure event is a full kill/reopen/rejoin cycle
+    /// (restart hook required when > 0) rather than an in-process crash.
+    double restart_prob = 0.0;
+    /// Churn window: events are scheduled only in [churn_start, churn_end).
+    /// churn_end == 0 means "until the start() horizon".  A non-empty
+    /// window must have churn_end > churn_start (construction rejects
+    /// zero-length or inverted windows).
+    SimTime churn_start = 0;
+    SimTime churn_end = 0;
   };
 
+  /// In-process-crash injector (no restart hook; restart_prob must be 0).
   FailureInjector(sim::Simulator& simulator, RecoveryManager& manager,
                   std::size_t process_count, Config config);
 
-  /// Schedule failures until simulated time `until`.
+  /// Churn injector: `restart` implements the kill/reopen/rejoin cycle for
+  /// one process.  Required when config.restart_prob > 0.
+  FailureInjector(sim::Simulator& simulator, RecoveryManager& manager,
+                  std::size_t process_count, Config config, RestartFn restart);
+
+  /// Schedule failures until simulated time `until` (clipped to the churn
+  /// window).
   void start(SimTime until);
 
   const std::vector<RecoveryOutcome>& outcomes() const { return outcomes_; }
+
+  /// Processes killed and re-attached by the restart hook so far.
+  std::uint64_t restarts() const { return restarts_; }
 
  private:
   void schedule_next(SimTime until);
@@ -34,8 +73,10 @@ class FailureInjector {
   RecoveryManager& manager_;
   std::size_t process_count_;
   Config config_;
+  RestartFn restart_;
   util::Rng rng_;
   std::vector<RecoveryOutcome> outcomes_;
+  std::uint64_t restarts_ = 0;
 };
 
 }  // namespace rdtgc::recovery

@@ -56,11 +56,28 @@ RecoveryManager::RecoveryManager(sim::Simulator& simulator,
       config_(config) {
   RDTGC_EXPECTS(!nodes_.empty());
   RDTGC_EXPECTS(nodes_.size() == recorder_.process_count());
+  for (const ckpt::Node* node : nodes_) RDTGC_EXPECTS(node != nullptr);
+}
+
+RecoveryManager::RecoveryManager(sim::Simulator& simulator,
+                                 sim::Network& network,
+                                 ccp::CcpRecorder& recorder,
+                                 NodeProvider nodes, Config config)
+    : simulator_(simulator),
+      network_(network),
+      recorder_(recorder),
+      provider_(std::move(nodes)),
+      config_(config) {
+  RDTGC_EXPECTS(provider_ != nullptr);
+}
+
+ckpt::Node& RecoveryManager::node_at(ProcessId p) {
+  return provider_ ? provider_(p) : *nodes_[static_cast<std::size_t>(p)];
 }
 
 RecoveryOutcome RecoveryManager::recover(const std::vector<ProcessId>& faulty) {
   RDTGC_EXPECTS(!faulty.empty());
-  const std::size_t n = nodes_.size();
+  const std::size_t n = recorder_.process_count();
   std::vector<bool> faulty_mask(n, false);
   for (const ProcessId f : faulty) {
     RDTGC_EXPECTS(f >= 0 && static_cast<std::size_t>(f) < n);
@@ -91,7 +108,7 @@ RecoveryOutcome RecoveryManager::recover(const std::vector<ProcessId>& faulty) {
   }
 
   for (std::size_t p = 0; p < n; ++p) {
-    ckpt::Node& node = *nodes_[p];
+    ckpt::Node& node = node_at(static_cast<ProcessId>(p));
     const CheckpointIndex last = recorder_.last_stable(static_cast<ProcessId>(p));
     // Definition 5 metric: general checkpoints rolled back (the volatile
     // state counts as c^{last+1}).

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "causality/types.hpp"
@@ -63,6 +64,10 @@ struct RecoveryOutcome {
 std::vector<CheckpointIndex> recovery_line_from_storage(
     const std::vector<const ckpt::ShardedCheckpointStore*>& stores);
 
+/// Restart-safe process accessor (harness::System::node_provider): resolves
+/// the CURRENT Node of p, surviving warm restarts that replace the object.
+using NodeProvider = std::function<ckpt::Node&(ProcessId)>;
+
 class RecoveryManager {
  public:
   struct Config {
@@ -72,6 +77,13 @@ class RecoveryManager {
 
   RecoveryManager(sim::Simulator& simulator, sim::Network& network,
                   ccp::CcpRecorder& recorder, std::vector<ckpt::Node*> nodes,
+                  Config config);
+
+  /// Restart-safe variant: sessions resolve processes through `nodes`
+  /// instead of holding borrowed pointers that a restart would dangle.  The
+  /// process count comes from the recorder.
+  RecoveryManager(sim::Simulator& simulator, sim::Network& network,
+                  ccp::CcpRecorder& recorder, NodeProvider nodes,
                   Config config);
 
   /// Run a recovery session for the given faulty set, now.
@@ -85,10 +97,13 @@ class RecoveryManager {
   const Stats& stats() const { return stats_; }
 
  private:
+  ckpt::Node& node_at(ProcessId p);
+
   sim::Simulator& simulator_;
   sim::Network& network_;
   ccp::CcpRecorder& recorder_;
-  std::vector<ckpt::Node*> nodes_;
+  std::vector<ckpt::Node*> nodes_;  ///< empty when provider_ is set
+  NodeProvider provider_;           ///< null for the borrowed-pointer ctor
   Config config_;
   Stats stats_;
 };

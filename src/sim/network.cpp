@@ -24,6 +24,30 @@ void Network::connect(ProcessId p, DeliveryFn sink) {
   sinks_[static_cast<std::size_t>(p)] = std::move(sink);
 }
 
+void Network::disconnect(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < sinks_.size() &&
+                sinks_[static_cast<std::size_t>(p)] != nullptr);
+  sinks_[static_cast<std::size_t>(p)] = nullptr;
+  if (static_cast<std::size_t>(p) >= process_epoch_.size())
+    process_epoch_.resize(static_cast<std::size_t>(p) + 1, 0);
+  // Scheduled deliveries touching p self-discard when they surface (their
+  // captured epoch went stale); parked and held messages are purged here.
+  ++process_epoch_[static_cast<std::size_t>(p)];
+  const auto touches_p = [p](const Message& m) {
+    return m.src == p || m.dst == p;
+  };
+  for (std::vector<Message>* queue : {&held_, &mailbox_}) {
+    const auto dead = std::stable_partition(
+        queue->begin(), queue->end(),
+        [&](const Message& m) { return !touches_p(m); });
+    const auto dropped = static_cast<std::uint64_t>(queue->end() - dead);
+    stats_.dropped_in_flight += dropped;
+    RDTGC_ASSERT(in_flight_ >= dropped);
+    in_flight_ -= dropped;
+    queue->erase(dead, queue->end());
+  }
+}
+
 Message Network::make_message() {
   // Fresh value-initialized shell that steals only the recycled DV buffer
   // (the caller overwrites its contents with a same-size copy, reusing the
@@ -74,9 +98,23 @@ MessageId Network::send(Message m) {
 void Network::schedule_delivery(Message m, SimTime when) {
   ++in_flight_;
   const std::uint64_t epoch = epoch_;
-  simulator_.at(when, [this, epoch, m = std::move(m)]() mutable {
+  const std::uint64_t src_epoch = process_epoch(m.src);
+  const std::uint64_t dst_epoch = process_epoch(m.dst);
+  simulator_.at(when, [this, epoch, src_epoch, dst_epoch,
+                       m = std::move(m)]() mutable {
     if (epoch != epoch_) {
       // drop_in_flight() already reset the counter for this epoch.
+      ++stats_.dropped_in_flight;
+      return;
+    }
+    if (src_epoch != process_epoch(m.src) ||
+        dst_epoch != process_epoch(m.dst)) {
+      // An endpoint's process died (disconnect) after this delivery was
+      // scheduled: the message was in flight at the death and is lost.
+      // Unlike the global-epoch path the counter was NOT reset, so this
+      // message still counts against it.
+      RDTGC_ASSERT(in_flight_ > 0);
+      --in_flight_;
       ++stats_.dropped_in_flight;
       return;
     }

@@ -46,8 +46,16 @@ class Network {
   Network(Simulator& simulator, util::Rng rng, Config config);
 
   /// Register the delivery callback for process `p`.  Must be called once per
-  /// destination before any send to it.
+  /// destination before any send to it (again after disconnect(p)).
   void connect(ProcessId p, DeliveryFn sink);
+
+  /// Unregister process `p` (its process died — harness::System's
+  /// restart_node drives this): the sink slot frees for a reconnect, and
+  /// every message in flight to or from p is dropped — parked/held ones
+  /// immediately, scheduled ones when their delivery event surfaces (p's
+  /// epoch is bumped, so the stale closure self-discards exactly like the
+  /// drop_in_flight() path).  Counted in stats().dropped_in_flight.
+  void disconnect(ProcessId p);
 
   /// Send `m` (id and sent_at are assigned here).  Returns the message id.
   MessageId send(Message m);
@@ -79,6 +87,13 @@ class Network {
  private:
   void schedule_delivery(Message m, SimTime when);
 
+  /// Current epoch of process p (0 until the first disconnect bumps it).
+  std::uint64_t process_epoch(ProcessId p) const {
+    return static_cast<std::size_t>(p) < process_epoch_.size()
+               ? process_epoch_[static_cast<std::size_t>(p)]
+               : 0;
+  }
+
   Simulator& simulator_;
   util::Rng rng_;
   Config config_;
@@ -87,6 +102,10 @@ class Network {
   MessageId next_id_ = 1;
   /// Epoch counter: bumping it invalidates all scheduled deliveries.
   std::uint64_t epoch_ = 0;
+  /// Per-process epochs: disconnect(p) bumps entry p, invalidating every
+  /// scheduled delivery whose source or destination is p (grown lazily —
+  /// absent entries are epoch 0).
+  std::vector<std::uint64_t> process_epoch_;
   std::uint64_t in_flight_ = 0;
   bool paused_ = false;
   /// Messages sent while paused, delivered on resume().

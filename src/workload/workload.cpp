@@ -28,20 +28,46 @@ WorkloadDriver::WorkloadDriver(sim::Simulator& simulator,
                                WorkloadConfig config)
     : simulator_(simulator),
       nodes_(std::move(nodes)),
+      process_count_(nodes_.size()),
       config_(config),
       phase_pos_(nodes_.size(), 0),
       rr_next_(nodes_.size(), 1) {
-  RDTGC_EXPECTS(nodes_.size() >= 2);
+  RDTGC_EXPECTS(process_count_ >= 2);
   RDTGC_EXPECTS(config_.mean_gap >= 1);
   RDTGC_EXPECTS(config_.checkpoint_probability >= 0.0 &&
                 config_.checkpoint_probability <= 1.0);
   util::Rng root(config_.seed);
-  rng_.reserve(nodes_.size());
-  for (std::size_t p = 0; p < nodes_.size(); ++p) rng_.push_back(root.split());
+  rng_.reserve(process_count_);
+  for (std::size_t p = 0; p < process_count_; ++p)
+    rng_.push_back(root.split());
+}
+
+WorkloadDriver::WorkloadDriver(sim::Simulator& simulator, NodeProvider nodes,
+                               std::size_t process_count,
+                               WorkloadConfig config)
+    : simulator_(simulator),
+      provider_(std::move(nodes)),
+      process_count_(process_count),
+      config_(config),
+      phase_pos_(process_count, 0),
+      rr_next_(process_count, 1) {
+  RDTGC_EXPECTS(provider_ != nullptr);
+  RDTGC_EXPECTS(process_count_ >= 2);
+  RDTGC_EXPECTS(config_.mean_gap >= 1);
+  RDTGC_EXPECTS(config_.checkpoint_probability >= 0.0 &&
+                config_.checkpoint_probability <= 1.0);
+  util::Rng root(config_.seed);
+  rng_.reserve(process_count_);
+  for (std::size_t p = 0; p < process_count_; ++p)
+    rng_.push_back(root.split());
+}
+
+ckpt::Node& WorkloadDriver::node_at(std::size_t p) {
+  return provider_ ? provider_(static_cast<ProcessId>(p)) : *nodes_[p];
 }
 
 void WorkloadDriver::start(SimTime until) {
-  for (std::size_t p = 0; p < nodes_.size(); ++p) schedule_activity(p, until);
+  for (std::size_t p = 0; p < process_count_; ++p) schedule_activity(p, until);
 }
 
 void WorkloadDriver::schedule_activity(std::size_t p, SimTime until) {
@@ -63,14 +89,14 @@ void WorkloadDriver::schedule_activity(std::size_t p, SimTime until) {
 void WorkloadDriver::perform_activity(std::size_t p) {
   ++activities_;
   ++phase_pos_[p];
-  ckpt::Node& node = *nodes_[p];
+  ckpt::Node& node = node_at(p);
   if (rng_[p].bernoulli(config_.checkpoint_probability)) {
     node.take_basic_checkpoint();
     return;
   }
   if (config_.kind == WorkloadKind::kBroadcast &&
       rng_[p].bernoulli(config_.broadcast_fraction)) {
-    for (std::size_t q = 0; q < nodes_.size(); ++q)
+    for (std::size_t q = 0; q < process_count_; ++q)
       if (q != p) node.send_app_message(static_cast<ProcessId>(q));
     return;
   }
@@ -78,7 +104,7 @@ void WorkloadDriver::perform_activity(std::size_t p) {
 }
 
 ProcessId WorkloadDriver::pick_destination(std::size_t p) {
-  const std::size_t n = nodes_.size();
+  const std::size_t n = process_count_;
   switch (config_.kind) {
     case WorkloadKind::kRing:
       return static_cast<ProcessId>((p + 1) % n);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,10 +40,20 @@ struct WorkloadConfig {
   std::uint64_t seed = 42;
 };
 
+/// Restart-safe process accessor (harness::System::node_provider): the
+/// driver resolves the CURRENT Node of p at every activity, so a process
+/// replaced by a warm restart keeps receiving its schedule.
+using NodeProvider = std::function<ckpt::Node&(ProcessId)>;
+
 class WorkloadDriver {
  public:
   WorkloadDriver(sim::Simulator& simulator, std::vector<ckpt::Node*> nodes,
                  WorkloadConfig config);
+
+  /// Restart-safe variant: activities resolve processes through `nodes`
+  /// instead of holding borrowed pointers that a restart would dangle.
+  WorkloadDriver(sim::Simulator& simulator, NodeProvider nodes,
+                 std::size_t process_count, WorkloadConfig config);
 
   /// Schedule activities for every process until simulated time `until`.
   void start(SimTime until);
@@ -53,9 +64,12 @@ class WorkloadDriver {
   void schedule_activity(std::size_t p, SimTime until);
   void perform_activity(std::size_t p);
   ProcessId pick_destination(std::size_t p);
+  ckpt::Node& node_at(std::size_t p);
 
   sim::Simulator& simulator_;
-  std::vector<ckpt::Node*> nodes_;
+  std::vector<ckpt::Node*> nodes_;  ///< empty when provider_ is set
+  NodeProvider provider_;           ///< null for the borrowed-pointer ctor
+  std::size_t process_count_;
   WorkloadConfig config_;
   std::vector<util::Rng> rng_;            // per process
   std::vector<std::uint64_t> phase_pos_;  // kBursty bookkeeping

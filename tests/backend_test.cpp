@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "helpers.hpp"
 #include "recovery/recovery_manager.hpp"
 #include "util/check.hpp"
+#include "util/mapped_file.hpp"
 #include "util/rng.hpp"
 
 namespace rdtgc {
@@ -385,6 +387,107 @@ TEST(BackendRecovery, SystemRestartFromLogMatchesOracles) {
 }
 TEST(BackendRecovery, SystemRestartFromLogAfterUncleanStop) {
   run_system_recovery(StorageBackendKind::kLogStructured, false);
+}
+
+// ---- Restart-from-disk edge cases -----------------------------------------
+//
+// recovery_line_from_storage() and the kAttach open path sit on the warm
+// restart critical path (ckpt::Node attach); the failure modes below must be
+// loud errors, never a silently empty line.
+
+/// Attaching to a directory no store ever wrote: the meta file is absent, so
+/// construction itself fails with an I/O error — there is nothing to recover.
+void attach_empty_directory(StorageBackendKind kind) {
+  ScratchDir dir("attach_empty");
+  StorageConfig attach = persistent_config(kind, dir.path());
+  attach.open_mode = OpenMode::kAttach;
+  EXPECT_THROW(ShardedCheckpointStore(0, 4,
+                                      ckpt::StoreConcurrency::kUnsynchronized,
+                                      attach),
+               util::IoError);
+}
+
+TEST(BackendRecoveryEdge, AttachEmptyDirectoryMmap) {
+  attach_empty_directory(StorageBackendKind::kMmapFile);
+}
+TEST(BackendRecoveryEdge, AttachEmptyDirectoryLog) {
+  attach_empty_directory(StorageBackendKind::kLogStructured);
+}
+
+/// A stripe file deleted out from under a persisted store: the attach open
+/// of the missing stripe must fail with an I/O error rather than recover a
+/// partial set.
+void attach_missing_stripe(StorageBackendKind kind) {
+  ScratchDir dir("attach_torn");
+  StorageConfig config = persistent_config(kind, dir.path());
+  {
+    ShardedCheckpointStore store(0, 4,
+                                 ckpt::StoreConcurrency::kUnsynchronized,
+                                 config);
+    causality::DependencyVector dv(3);
+    for (CheckpointIndex g = 0; g < 8; ++g) {
+      dv.at(0) = g;
+      store.put(g, dv, static_cast<SimTime>(g + 1), 64);
+    }
+    store.flush();
+  }
+  ASSERT_EQ(std::remove(config.stripe_file(0, 1).c_str()), 0);
+  config.open_mode = OpenMode::kAttach;
+  EXPECT_THROW(ShardedCheckpointStore(0, 4,
+                                      ckpt::StoreConcurrency::kUnsynchronized,
+                                      config),
+               util::IoError);
+}
+
+TEST(BackendRecoveryEdge, AttachMissingStripeFileMmap) {
+  attach_missing_stripe(StorageBackendKind::kMmapFile);
+}
+TEST(BackendRecoveryEdge, AttachMissingStripeFileLog) {
+  attach_missing_stripe(StorageBackendKind::kLogStructured);
+}
+
+/// A store whose every checkpoint was collected before the crash: the media
+/// open and recover() succeed (zero live records is a valid on-disk state),
+/// but a recovery line cannot be built over an empty lineage — the contract
+/// fires instead of fabricating index 0.
+void attach_zero_survivors(StorageBackendKind kind) {
+  ScratchDir dir("attach_barren");
+  StorageConfig config = persistent_config(kind, dir.path());
+  {
+    ShardedCheckpointStore store(0, 4,
+                                 ckpt::StoreConcurrency::kUnsynchronized,
+                                 config);
+    causality::DependencyVector dv(3);
+    for (CheckpointIndex g = 0; g < 8; ++g) {
+      dv.at(0) = g;
+      store.put(g, dv, static_cast<SimTime>(g + 1), 64);
+    }
+    for (CheckpointIndex g = 0; g < 8; ++g) store.collect(g);
+    ASSERT_EQ(store.count(), 0u);
+    store.flush();
+  }
+  config.open_mode = OpenMode::kAttach;
+  ShardedCheckpointStore reopened(0, 4,
+                                  ckpt::StoreConcurrency::kUnsynchronized,
+                                  config);
+  EXPECT_EQ(reopened.recover(), 0u);
+  const std::vector<const ShardedCheckpointStore*> stores = {&reopened};
+  EXPECT_THROW(recovery::recovery_line_from_storage(stores),
+               util::ContractViolation);
+}
+
+TEST(BackendRecoveryEdge, ZeroSurvivingCheckpointsMmap) {
+  attach_zero_survivors(StorageBackendKind::kMmapFile);
+}
+TEST(BackendRecoveryEdge, ZeroSurvivingCheckpointsLog) {
+  attach_zero_survivors(StorageBackendKind::kLogStructured);
+}
+
+/// No stores at all is a caller bug, not an empty line.
+TEST(BackendRecoveryEdge, NoStoresRejected) {
+  const std::vector<const ShardedCheckpointStore*> stores;
+  EXPECT_THROW(recovery::recovery_line_from_storage(stores),
+               util::ContractViolation);
 }
 
 }  // namespace

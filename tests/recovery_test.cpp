@@ -12,6 +12,7 @@
 #include "helpers.hpp"
 #include "recovery/failure_injector.hpp"
 #include "recovery/recovery_manager.hpp"
+#include "util/check.hpp"
 #include "workload/workload.hpp"
 
 namespace rdtgc {
@@ -217,6 +218,68 @@ TEST(FailureInjector, DrivesDeterministicSessions) {
   const auto b = run_once(42);
   EXPECT_EQ(a, b);
   EXPECT_GT(std::get<0>(a), 0u);
+}
+
+TEST(FailureInjector, RejectsInvalidConfig) {
+  Rig rig = make_rig(5, 3, true);
+  const auto construct = [&](recovery::FailureInjector::Config fc) {
+    recovery::FailureInjector injector(rig.system->simulator(), *rig.manager,
+                                       3, fc);
+  };
+  recovery::FailureInjector::Config fc;
+
+  fc.mean_interval = 0;  // degenerate rate
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc = {};
+  fc.multi_failure_prob = -0.1;
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc.multi_failure_prob = 1.5;
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc = {};
+  fc.restart_prob = -0.5;
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc.restart_prob = 1.5;
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc = {};
+  fc.restart_prob = 0.5;  // churn without a restart hook is a contradiction
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc = {};
+  fc.churn_start = 100;
+  fc.churn_end = 100;  // zero-length window
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+  fc.churn_end = 50;  // inverted window
+  EXPECT_THROW(construct(fc), util::ContractViolation);
+
+  // The valid shapes construct: plain crashes, and churn with a hook.
+  fc = {};
+  construct(fc);
+  fc.restart_prob = 1.0;
+  fc.churn_start = 100;
+  fc.churn_end = 200;
+  recovery::FailureInjector churn(rig.system->simulator(), *rig.manager, 3,
+                                  fc, [](ProcessId) {});
+  // A horizon that never reaches the window is a caller bug.
+  EXPECT_THROW(churn.start(100), util::ContractViolation);
+}
+
+TEST(FailureInjector, ChurnWindowBoundsEvents) {
+  Rig rig = make_rig(11, 4, true);
+  rig.driver->start(6000);
+  recovery::FailureInjector::Config fc;
+  fc.mean_interval = 150;
+  fc.seed = 7;
+  fc.churn_start = 2000;
+  fc.churn_end = 4000;
+  recovery::FailureInjector injector(
+      rig.system->simulator(), *rig.manager, 4, fc);
+  injector.start(6000);
+  // Events only land inside [churn_start, churn_end) even though the
+  // horizon extends past the window; the full horizon would fit ~40.
+  rig.system->simulator().run();
+  ASSERT_GT(injector.outcomes().size(), 0u);
+  EXPECT_LT(injector.outcomes().size(), 20u)
+      << "events scheduled outside [churn_start, churn_end)";
+  audit_sandwich(*rig.system);
 }
 
 TEST(FailureInjector, SystemStaysSaneUnderRandomFailures) {
