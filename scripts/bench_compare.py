@@ -31,11 +31,15 @@ import sys
 # churn families (memory is the no-regression reference, mmap/log price
 # durability); BM_NodeAttach*/BM_ChurnRestart* are the warm-restart
 # families (Node attach-from-storage and the full kill/reopen/rejoin
-# cycle).
+# cycle); BM_GroupCommit*/BM_BackgroundChurn*/BM_DurabilityLag are the
+# async-durability-pipeline families (per-op cost vs the sync write-through
+# baseline at every_k=0, the background acknowledged cost, and the lag
+# probe's sampling tax).
 TRACKED = re.compile(
     r"^(BM_DvMerge|BM_ReceivePath)\b"
     r"|^BM_Rollback|^BM_Sharded|^BM_Backend|^BM_FleetRunner"
-    r"|^BM_NodeAttach|^BM_ChurnRestart")
+    r"|^BM_NodeAttach|^BM_ChurnRestart"
+    r"|^BM_GroupCommit|^BM_BackgroundChurn|^BM_DurabilityLag")
 
 
 def load(path):
@@ -101,7 +105,8 @@ def main():
         print("\nno tracked regressions above "
               f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
               "BM_NodeAttach*, BM_ChurnRestart*, "
-              "BM_Rollback*, BM_Sharded*, BM_Backend*, BM_FleetRunner)")
+              "BM_Rollback*, BM_Sharded*, BM_Backend*, BM_FleetRunner, "
+              "BM_GroupCommit*, BM_BackgroundChurn*, BM_DurabilityLag)")
 
     if args.history:
         record = {

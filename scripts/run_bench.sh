@@ -27,8 +27,69 @@ if [[ "${build_type}" != "Release" && "${RDTGC_BENCH_ALLOW_NONRELEASE:-0}" != "1
 fi
 
 cmake --build "${build_dir}" --target tabd_micro -j"$(nproc)"
-"${build_dir}/bench/tabd_micro" \
-  --benchmark_format=json --benchmark_min_time=0.05 > "${out}"
+
+# The storage-backend families put their media under the platform temp dir
+# (bench_common.hpp honors TMPDIR).  A tmpfs there benches the store logic,
+# not the disk: the per-op pwrite/msync/fsync cost that group commit exists
+# to amortize is mostly RAM-speed, so durability-family ratios (e.g.
+# BM_GroupCommitLog/0 vs /16) understate what real media would show.  Detect
+# it, warn loudly, and tag the recorded baseline so comparisons never mix
+# tmpfs and disk runs silently.
+bench_media_dir="${TMPDIR:-/tmp}"
+bench_media_fs="$(stat -f -c %T "${bench_media_dir}" 2>/dev/null || echo unknown)"
+case "${bench_media_fs}" in
+  tmpfs|ramfs)
+    echo "==============================================================" >&2
+    echo "WARNING: bench media dir ${bench_media_dir} is ${bench_media_fs}" >&2
+    echo "         (RAM-backed).  Storage/durability families measure the" >&2
+    echo "         store's CPU path, NOT real media latency; group-commit" >&2
+    echo "         ratios will understate the on-disk win.  Point TMPDIR" >&2
+    echo "         at a disk-backed path to bench durability for real." >&2
+    echo "==============================================================" >&2
+    ;;
+esac
+
+# The committed baseline is the reference everything diffs against, so it
+# gets a steadier protocol than the CI fresh run (one 0.05s pass):
+# BENCH_RUNS full interleaved passes at 3x the min_time, folded to the
+# per-benchmark MEDIAN time.  Scheduler/VM jitter routinely swings one
+# short pass by +-20%; medians of interleaved passes are what the README
+# tells humans to compare, so the recorded baseline does the same.
+bench_runs="${RDTGC_BENCH_RUNS:-3}"
+for ((i = 0; i < bench_runs; ++i)); do
+  "${build_dir}/bench/tabd_micro" \
+    --benchmark_format=json --benchmark_min_time=0.15 > "${out}.run${i}"
+done
+
+# Fold the passes to medians and stamp the recording context (media
+# filesystem — tmpfs baselines measure the store's CPU path, not real
+# media — and the pass count) so a reader can tell what this baseline is.
+python3 - "${out}" "${bench_media_dir}" "${bench_media_fs}" "${bench_runs}" <<'PY'
+import json, statistics, sys
+out, media_dir, media_fs, runs = sys.argv[1:5]
+runs = int(runs)
+passes = []
+for i in range(runs):
+    with open(f"{out}.run{i}") as f:
+        passes.append(json.load(f))
+data = passes[-1]  # keep the last pass's context/ordering as the skeleton
+times = {}
+for p in passes:
+    for b in p.get("benchmarks", []):
+        times.setdefault(b["name"], []).append((b["real_time"], b["cpu_time"]))
+for b in data.get("benchmarks", []):
+    seen = times[b["name"]]
+    b["real_time"] = statistics.median(t[0] for t in seen)
+    b["cpu_time"] = statistics.median(t[1] for t in seen)
+ctx = data.setdefault("context", {})
+ctx["bench_media_dir"] = media_dir
+ctx["bench_media_fs"] = media_fs
+ctx["bench_runs"] = runs
+with open(out, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+PY
+rm -f "${out}".run*
 
 # The JSON's "library_build_type" describes how the *benchmark library* was
 # compiled; distro packages often report "debug" even though rdtgc itself is

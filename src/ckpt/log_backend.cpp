@@ -126,6 +126,7 @@ void LogStructuredBackend::open_fresh() {
   end_offset_ = sizeof(LogHeader);
   log_records_ = 0;
   baseline_records_ = 0;
+  dirty_ = true;
 }
 
 void LogStructuredBackend::ensure_width(std::size_t width) {
@@ -137,6 +138,7 @@ void LogStructuredBackend::ensure_width(std::size_t width) {
       throw util::IoError("log '" + path_ + "' shorter than its header");
     h.dv_width = dv_width_;
     pwrite_all(fd_, &h, sizeof(h), 0, path_);
+    dirty_ = true;
     return;
   }
   RDTGC_EXPECTS(width == dv_width_);
@@ -158,8 +160,15 @@ void LogStructuredBackend::append_record(std::uint16_t type,
   std::memcpy(scratch_.data(), &rec, sizeof(rec));
   if (payload > 0)
     std::memcpy(scratch_.data() + sizeof(rec), dv->entries().data(), payload);
-  pwrite_all(fd_, scratch_.data(), scratch_.size(), end_offset_, path_);
-  end_offset_ += scratch_.size();
+  if (batching_) {
+    // Group-commit drain: accumulate in memory, end_batch() emits the
+    // whole window with one pwrite.  end_offset_ advances at emit time.
+    batch_.insert(batch_.end(), scratch_.begin(), scratch_.end());
+  } else {
+    pwrite_all(fd_, scratch_.data(), scratch_.size(), end_offset_, path_);
+    end_offset_ += scratch_.size();
+    dirty_ = true;
+  }
   ++log_records_;
 }
 
@@ -214,6 +223,13 @@ void LogStructuredBackend::maybe_compact() {
 }
 
 void LogStructuredBackend::compact() {
+  // Any batched-but-unemitted records are subsumed by the rewrite: every
+  // buffered record's effect is already applied to the mirror by the time
+  // maybe_compact() runs (appends precede the mirror update on puts, and
+  // the compaction triggers — collect/discard — apply their own record
+  // before triggering), and compaction serializes the mirror wholesale.
+  // Emitting them afterwards would replay them twice on recover.
+  batch_.clear();
   const std::string tmp = path_ + ".tmp";
   const int tmp_fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (tmp_fd < 0) throw_errno("open", tmp);
@@ -264,6 +280,10 @@ void LogStructuredBackend::compact() {
   log_records_ = mem_.count();
   baseline_records_ = mem_.count();
   ++compactions_;
+  // The compacted data was fsync'd before the rename, but the rename
+  // itself (the directory entry) was not — conservatively keep the log
+  // dirty so the next flush() issues a real durability point.
+  dirty_ = true;
 }
 
 std::size_t LogStructuredBackend::recover() {
@@ -312,11 +332,39 @@ std::size_t LogStructuredBackend::recover() {
   end_offset_ = off;
   log_records_ = records;
   pending_recover_ = false;
+  dirty_ = true;  // the torn-tail ftruncate is an unsynced medium write
   return mem_.count();
 }
 
 void LogStructuredBackend::flush() {
-  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  if (!dirty_) return;  // nothing reached the medium since the last fsync
+  if (util::io_fsync(fd_) != 0) throw_errno("fsync", path_);
+  ++fsyncs_;
+  dirty_ = false;
+}
+
+void LogStructuredBackend::begin_batch() {
+  RDTGC_ASSERT(!batching_);
+  // batch_ may be non-empty here: a previous end_batch() that failed with
+  // IoError (ENOSPC) keeps its bytes, and the next commit retries them
+  // ahead of the new window — end_offset_ never advanced, so the record
+  // stream stays contiguous.
+  batching_ = true;
+}
+
+void LogStructuredBackend::end_batch(bool durable) {
+  RDTGC_ASSERT(batching_);
+  batching_ = false;
+  if (!batch_.empty()) {
+    // The whole window in one pwrite.  A crash tearing it mid-write leaves
+    // a well-formed record prefix plus one torn record, exactly what
+    // recover() truncates away.
+    pwrite_all(fd_, batch_.data(), batch_.size(), end_offset_, path_);
+    end_offset_ += batch_.size();
+    batch_.clear();
+    dirty_ = true;
+  }
+  if (durable) flush();
 }
 
 }  // namespace rdtgc::ckpt

@@ -84,8 +84,18 @@ class LogStructuredBackend final : public StorageBackend {
   const StoreStats& stats() const override { return mem_.stats(); }
 
   std::size_t recover() override;
-  /// fsync the log (the durability point).
+  /// fsync the log (the durability point).  Skipped entirely when nothing
+  /// was written since the last flush (the dirty flag; see fsyncs()).
   void flush() override;
+
+  /// Coalesced batch: between begin_batch() and end_batch() appended
+  /// records accumulate in memory, and end_batch() writes the whole window
+  /// with ONE pwrite (+ one fsync when durable) — the group-commit fast
+  /// path.  A compaction inside the batch simply discards the buffer: the
+  /// mirror already reflects every buffered record, and compaction
+  /// serializes the mirror wholesale.
+  void begin_batch() override;
+  void end_batch(bool durable) override;
 
   // ---- Introspection (tests, benches) ----
 
@@ -95,6 +105,8 @@ class LogStructuredBackend final : public StorageBackend {
   std::uint64_t baseline_records() const { return baseline_records_; }
   /// Compaction passes run over this object's lifetime.
   std::uint64_t compactions() const { return compactions_; }
+  /// flush() fsync syscalls actually issued (dirty-flag skips excluded).
+  std::uint64_t fsyncs() const { return fsyncs_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -122,8 +134,15 @@ class LogStructuredBackend final : public StorageBackend {
   std::size_t compact_min_records_;
   double compact_dead_ratio_;
   std::uint32_t dv_width_ = kWidthUnset;
+  std::uint64_t fsyncs_ = 0;
   bool pending_recover_ = false;
+  /// Unsynced bytes reached the medium since the last successful flush().
+  bool dirty_ = false;
+  /// Inside a begin_batch()/end_batch() bracket: appends buffer into
+  /// batch_ instead of pwriting.
+  bool batching_ = false;
   std::vector<std::byte> scratch_;  ///< reusable record serialization buffer
+  std::vector<std::byte> batch_;    ///< coalesced records awaiting one pwrite
 
   static constexpr std::uint32_t kWidthUnset = 0xffffffffu;
 };

@@ -79,6 +79,7 @@ MmapFileBackend::MmapFileBackend(ProcessId owner, std::string path,
     h->clean = 0;
     h->slot_capacity = initial_slots;
     h->slots_used = 0;
+    medium_dirty_ = true;
   } else {
     file_.open(path, util::MappedFile::Mode::kOpenExisting, 0);
     pending_recover_ = true;
@@ -160,6 +161,7 @@ void MmapFileBackend::sync_header_stats() {
   SegmentHeader* h = header();
   h->stats = PersistedStoreStats::from(mem_.stats());
   h->clean = 0;
+  medium_dirty_ = true;
 }
 
 void MmapFileBackend::put(StoredCheckpoint checkpoint) {
@@ -269,12 +271,35 @@ std::size_t MmapFileBackend::recover() {
   }
   mem_.restore_stats(stats);
   pending_recover_ = false;
+  medium_dirty_ = true;  // the header normalization above is unsynced
   return mem_.count();
 }
 
 void MmapFileBackend::flush() {
+  // Dirty-flag skip: nothing changed since the last flush AND the segment
+  // is already marked clean — the msync would be a pure no-op.
+  if (!medium_dirty_ && header()->clean == 1) return;
   header()->clean = 1;
+  try {
+    file_.sync();
+  } catch (...) {
+    // An msync failure must not leave a clean flag the medium never got:
+    // a subsequent crash-drop would then recover as "cleanly closed".
+    header()->clean = 0;
+    throw;
+  }
+  ++msyncs_;
+  medium_dirty_ = false;
+}
+
+void MmapFileBackend::end_batch(bool durable) {
+  if (!durable || !medium_dirty_) return;
+  // Group-commit durability point: msync without the clean flag (the
+  // mutations already cleared it; a crash after this commit is still an
+  // unclean-but-consistent state, not a clean close).
   file_.sync();
+  ++msyncs_;
+  medium_dirty_ = false;
 }
 
 std::uint64_t MmapFileBackend::slots_used() const { return header()->slots_used; }

@@ -95,8 +95,15 @@ class MmapFileBackend final : public StorageBackend {
   const StoreStats& stats() const override { return mem_.stats(); }
 
   std::size_t recover() override;
-  /// msync the segment and mark it cleanly closed.
+  /// msync the segment and mark it cleanly closed.  Skipped entirely when
+  /// nothing changed since the last flush (the dirty flag; see msyncs()).
   void flush() override;
+
+  /// Mutations are mapped-memory writes, so nothing buffers; end_batch()
+  /// msyncs the segment when durable WITHOUT marking it cleanly closed (a
+  /// group commit is a durability point, not a shutdown — the clean flag
+  /// stays the flush() contract).
+  void end_batch(bool durable) override;
 
   // ---- Introspection (tests, benches) ----
 
@@ -104,6 +111,9 @@ class MmapFileBackend final : public StorageBackend {
   std::uint64_t slots_used() const;
   /// Current slot capacity of the mapping.
   std::uint64_t slot_capacity() const;
+  /// msync syscalls actually issued by flush()/end_batch() (dirty-flag
+  /// skips excluded).
+  std::uint64_t msyncs() const { return msyncs_; }
   /// Whether the segment was flushed before it was last closed (valid right
   /// after recover(); any mutation clears the flag).
   bool recovered_clean() const { return recovered_clean_; }
@@ -145,8 +155,11 @@ class MmapFileBackend final : public StorageBackend {
   /// order as) mem_.stored_indices().
   std::vector<std::uint64_t> live_slots_;
   std::uint32_t dv_width_ = kWidthUnset;
+  std::uint64_t msyncs_ = 0;
   bool pending_recover_ = false;
   bool recovered_clean_ = false;
+  /// Mapped pages changed since the last successful msync.
+  bool medium_dirty_ = false;
 
   static constexpr std::uint32_t kWidthUnset = 0xffffffffu;
 };

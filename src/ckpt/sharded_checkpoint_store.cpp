@@ -51,6 +51,12 @@ ShardedCheckpointStore::ShardedCheckpointStore(ProcessId owner,
     backend_shards_.reserve(shard_count);
     for (std::size_t s = 0; s < shard_count; ++s)
       backend_shards_.push_back(make_backend(storage_, owner, s));
+    if (storage_.durability.mode != DurabilityMode::kSync) {
+      // Acknowledged mirror: with a pipeline the hot paths and every read
+      // run against these flat stripes at in-memory speed; the persistent
+      // backends above become the durable side, fed only at group commits.
+      flat_shards_.assign(shard_count, CheckpointStore(owner));
+    }
   }
   if (striped()) stripe_locks_ = std::make_unique<StripeLock[]>(shard_count);
   if (storage_.kind != StorageBackendKind::kInMemory) {
@@ -69,11 +75,21 @@ ShardedCheckpointStore::ShardedCheckpointStore(ProcessId owner,
           storage_.meta_file(owner), util::MappedFile::Mode::kOpenExisting, 0);
       meta_pending_recover_ = true;
     }
+    if (storage_.durability.mode != DurabilityMode::kSync) {
+      pipeline_ = std::make_unique<DurabilityPipeline>(
+          storage_.durability, backend_shards_, mask_,
+          [this](const StoreStats& durable) {
+            meta_header()->stats = PersistedStoreStats::from(durable);
+          });
+    }
   }
 }
 
 void ShardedCheckpointStore::sync_meta() {
-  if (!meta_) return;
+  // Pipelined: meta carries the DURABLE counters, published by the drain
+  // from its replica at each commit — write-through of the acknowledged
+  // stats_ here would let a crash recover counters ahead of the media.
+  if (!meta_ || pipeline_) return;
   meta_header()->stats = PersistedStoreStats::from(stats_);
 }
 
@@ -102,16 +118,27 @@ void ShardedCheckpointStore::put(StoredCheckpoint checkpoint) {
   // per-stripe check (inside the shard's put) runs — the cross-shard order
   // is the caller's contract.
   RDTGC_EXPECTS(striped() || count() == 0 || checkpoint.index > last_index());
+  RDTGC_EXPECTS(pipeline_ == nullptr || !meta_pending_recover_);
   const std::uint64_t bytes = checkpoint.bytes;
-  const std::size_t s = shard_of(checkpoint.index);
+  const CheckpointIndex index = checkpoint.index;
+  const SimTime stored_at = checkpoint.stored_at;
+  const std::size_t s = shard_of(index);
+  bool commit_now = false;
   {
     MaybeGuard guard(stripe_lock(s));
     if (!flat_shards_.empty())
       flat_shards_[s].put(std::move(checkpoint));
     else
       backend_shards_[s]->put(std::move(checkpoint));
+    // Record under the stripe lock so the pipeline's replay order matches
+    // this stripe's mirror order; the DV now lives in the mirror (the
+    // checkpoint was moved), so read it back from there.
+    if (pipeline_ != nullptr)
+      commit_now = pipeline_->record_put(index, flat_shards_[s].get(index).dv,
+                                         stored_at, bytes);
   }
   note_put(bytes);
+  if (commit_now) pipeline_->commit();
 }
 
 void ShardedCheckpointStore::put(CheckpointIndex index,
@@ -119,7 +146,9 @@ void ShardedCheckpointStore::put(CheckpointIndex index,
                                  SimTime stored_at, std::uint64_t bytes) {
   RDTGC_EXPECTS(index >= 0);
   RDTGC_EXPECTS(striped() || count() == 0 || index > last_index());
+  RDTGC_EXPECTS(pipeline_ == nullptr || !meta_pending_recover_);
   const std::size_t s = shard_of(index);
+  bool commit_now = false;
   {
     // The shard's copy-in put reuses the DV buffer recycled by that shard's
     // last collect() — the per-shard recycler invariant.
@@ -128,8 +157,11 @@ void ShardedCheckpointStore::put(CheckpointIndex index,
       flat_shards_[s].put(index, dv, stored_at, bytes);
     else
       backend_shards_[s]->put(index, dv, stored_at, bytes);
+    if (pipeline_ != nullptr)
+      commit_now = pipeline_->record_put(index, dv, stored_at, bytes);
   }
   note_put(bytes);
+  if (commit_now) pipeline_->commit();
 }
 
 bool ShardedCheckpointStore::contains(CheckpointIndex index) const {
@@ -149,8 +181,10 @@ causality::DvView ShardedCheckpointStore::dv_view(CheckpointIndex index) const {
 }
 
 void ShardedCheckpointStore::collect(CheckpointIndex index) {
+  RDTGC_EXPECTS(pipeline_ == nullptr || !meta_pending_recover_);
   const std::size_t s = shard_of(index);
   std::uint64_t freed = 0;
+  bool commit_now = false;
   {
     MaybeGuard guard(stripe_lock(s));
     if (!flat_shards_.empty()) {
@@ -164,6 +198,8 @@ void ShardedCheckpointStore::collect(CheckpointIndex index) {
       shard.collect(index);
       freed = before - shard.bytes();
     }
+    if (pipeline_ != nullptr)
+      commit_now = pipeline_->record_collect(index, freed);
   }
   {
     MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
@@ -173,9 +209,11 @@ void ShardedCheckpointStore::collect(CheckpointIndex index) {
     sync_meta();
   }
   merged_dirty_.store(true, std::memory_order_release);
+  if (commit_now) pipeline_->commit();
 }
 
 std::size_t ShardedCheckpointStore::discard_after(CheckpointIndex ri) {
+  RDTGC_EXPECTS(pipeline_ == nullptr || !meta_pending_recover_);
   std::size_t discarded = 0;
   std::uint64_t freed = 0;
   for (std::size_t s = 0; s < shard_count(); ++s) {
@@ -185,6 +223,11 @@ std::size_t ShardedCheckpointStore::discard_after(CheckpointIndex ri) {
     discarded += shard.discard_after(ri);
     freed += before - shard.bytes();
   }
+  // Rollback runs quiesced (see above), so recording outside the stripe
+  // locks cannot interleave with a racing put/collect on any stripe.
+  bool commit_now = false;
+  if (pipeline_ != nullptr)
+    commit_now = pipeline_->record_discard(ri, discarded, freed);
   {
     MaybeGuard guard(striped() ? &stats_lock_ : nullptr);
     bump(bytes_, std::uint64_t{0} - freed);
@@ -193,6 +236,7 @@ std::size_t ShardedCheckpointStore::discard_after(CheckpointIndex ri) {
     sync_meta();
   }
   merged_dirty_.store(true, std::memory_order_release);
+  if (commit_now) pipeline_->commit();
   return discarded;
 }
 
@@ -260,11 +304,25 @@ CheckpointIndex ShardedCheckpointStore::last_index() const {
 }
 
 std::size_t ShardedCheckpointStore::recover() {
+  const bool attach_pipelined = pipeline_ != nullptr && meta_pending_recover_;
   std::size_t live = 0;
   std::uint64_t live_bytes = 0;
   for (std::size_t s = 0; s < shard_count(); ++s) {
-    StorageBackend& stripe = backend_at(s);
+    // Pipelined: the durable backends recover (backend_at would hand back
+    // the acknowledged mirror), then the mirror is rebuilt from them —
+    // after a crash the acknowledged state IS the recovered durable prefix.
+    StorageBackend& stripe = pipeline_ != nullptr ? *backend_shards_[s]
+                                                  : backend_at(s);
     stripe.recover();
+    if (attach_pipelined) {
+      CheckpointStore& flat = flat_shards_[s];
+      RDTGC_EXPECTS(flat.count() == 0);  // attach: no mutation before recover
+      for (CheckpointIndex index : stripe.stored_indices()) {
+        const StoredCheckpoint& checkpoint = stripe.get(index);
+        flat.put(index, checkpoint.dv, checkpoint.stored_at, checkpoint.bytes);
+      }
+      flat.restore_stats(stripe.stats());
+    }
     live += stripe.count();
     live_bytes += stripe.bytes();
   }
@@ -279,13 +337,38 @@ std::size_t ShardedCheckpointStore::recover() {
     stats_ = h->stats.to_stats();
     meta_pending_recover_ = false;
   }
+  if (attach_pipelined) {
+    CheckpointIndex last = kNoCheckpoint;
+    for (const auto& backend : backend_shards_)
+      if (backend->count() > 0) last = std::max(last, backend->last_index());
+    pipeline_->reset_after_recover(last, stats_, live, live_bytes);
+  }
   merged_dirty_.store(true, std::memory_order_relaxed);
   return live;
 }
 
 void ShardedCheckpointStore::flush() {
-  for (std::size_t s = 0; s < shard_count(); ++s) backend_at(s).flush();
+  // Drain the pipeline first so every acknowledged mutation reaches the
+  // durable backends before their media flush below.
+  if (pipeline_ != nullptr) pipeline_->flush();
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    StorageBackend& stripe = pipeline_ != nullptr ? *backend_shards_[s]
+                                                  : backend_at(s);
+    stripe.flush();
+  }
   if (meta_) meta_->sync();
+}
+
+DurabilityStatus ShardedCheckpointStore::durability() const {
+  if (pipeline_ != nullptr) return pipeline_->status();
+  DurabilityStatus status;
+  // No pipeline: every mutation is already durable when acknowledged.
+  status.acked_ops =
+      stats_.stored + stats_.collected + stats_.discarded;
+  status.synced_ops = status.acked_ops;
+  status.acked_index = count() > 0 ? last_index() : kNoCheckpoint;
+  status.synced_index = status.acked_index;
+  return status;
 }
 
 }  // namespace rdtgc::ckpt

@@ -81,6 +81,21 @@
 // before any index is reused), so recovery replays straight into the flat
 // mirror without sorting.
 //
+// Asynchronous durability.  With a persistent backend and a non-kSync
+// StorageConfig::durability policy the store splits acknowledged state from
+// durable state: the flat in-memory stripes come back as the ACKNOWLEDGED
+// mirror (every read and every zero-alloc hot-path contract is served by
+// them, exactly as in in-memory mode), the persistent stripe backends hold
+// the DURABLE state, and a ckpt::DurabilityPipeline records each
+// acknowledged mutation and replays whole windows into the backends as
+// group commits — one coalesced pwrite+fsync (log) or msync (mmap) per
+// stripe per window instead of per operation (durability_pipeline.hpp has
+// the full design: scheduling, locking discipline, crash semantics).
+// Dropping a pipelined store without flush() models a crash: the un-drained
+// window is discarded and recovery lands on the last commit's consistent
+// prefix of the acknowledged history.  durability() exposes the
+// acked-vs-synced lag that metrics::DurabilityLag samples.
+//
 // Public interface and contracts are otherwise identical to CheckpointStore
 // (the flat store remains as the single-stripe reference implementation; the
 // backends are property-tested against it in tests/store_test.cpp and
@@ -96,6 +111,7 @@
 #include "causality/dependency_vector.hpp"
 #include "causality/types.hpp"
 #include "ckpt/checkpoint_store.hpp"
+#include "ckpt/durability_pipeline.hpp"
 #include "ckpt/storage_backend.hpp"
 #include "util/mapped_file.hpp"
 #include "util/spinlock.hpp"
@@ -224,8 +240,33 @@ class ShardedCheckpointStore {
   std::size_t recover();
 
   /// Durability point: flush every stripe's medium and the meta segment
-  /// (msync/fsync).  No-op for in-memory storage.  Requires quiescence.
+  /// (msync/fsync).  Under a non-kSync policy, first drains the pipeline so
+  /// every acknowledged mutation is durable on return.  No-op for in-memory
+  /// storage.  Requires quiescence.
   void flush();
+
+  // ---- Asynchronous durability (see the header comment) ----
+
+  /// Whether a DurabilityPipeline is active (persistent backend with a
+  /// non-kSync policy).  O(1), never allocates.
+  bool pipelined() const { return pipeline_ != nullptr; }
+
+  /// The pipeline, or nullptr in kSync / in-memory mode.
+  DurabilityPipeline* pipeline() { return pipeline_.get(); }
+  const DurabilityPipeline* pipeline() const { return pipeline_.get(); }
+
+  /// Acked-vs-synced snapshot.  Without a pipeline the lag is identically
+  /// zero (indices report last_index()).  Safe against a background drain.
+  DurabilityStatus durability() const;
+
+  /// Read-only view of stripe `s`'s DURABLE backend: the persistent medium
+  /// in pipelined mode (shard(s) returns the acknowledged mirror there),
+  /// shard(s) otherwise.  kStriped: requires quiescence.
+  const StorageBackend& durable_shard(std::size_t s) const {
+    return pipeline_ != nullptr
+               ? static_cast<const StorageBackend&>(*backend_shards_[s])
+               : shard(s);
+  }
 
   // ---- Shard introspection (tests, benches, docs) ----
 
@@ -342,6 +383,10 @@ class ShardedCheckpointStore {
   mutable std::vector<CheckpointIndex> merged_;
   mutable std::atomic<bool> merged_dirty_{true};
   mutable util::SpinLock merged_lock_;
+  /// Group-commit/background-writer pipeline (non-kSync persistent mode
+  /// only).  LAST member: destroyed first, so the writer thread is joined
+  /// before the stripe backends it drains into go away.
+  std::unique_ptr<DurabilityPipeline> pipeline_;
 };
 
 }  // namespace rdtgc::ckpt

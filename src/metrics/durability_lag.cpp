@@ -1,0 +1,44 @@
+#include "metrics/durability_lag.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdtgc::metrics {
+
+DurabilityLag::DurabilityLag(sim::Simulator& simulator,
+                             std::vector<const ckpt::Node*> nodes)
+    : simulator_(simulator),
+      nodes_(std::move(nodes)),
+      per_process_(nodes_.size()) {
+  RDTGC_EXPECTS(!nodes_.empty());
+}
+
+void DurabilityLag::start(SimTime period, SimTime until) {
+  RDTGC_EXPECTS(period >= 1);
+  if (simulator_.now() + period > until) return;
+  simulator_.after(period, [this, period, until] {
+    sample();
+    start(period, until);
+  });
+}
+
+void DurabilityLag::sample() {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    const ckpt::DurabilityStatus status = nodes_[p]->store().durability();
+    const std::uint64_t lag = status.lag_ops();
+    per_process_[p].add(static_cast<double>(lag));
+    peak_lag_ops_ = std::max(peak_lag_ops_, lag);
+    if (status.acked_index > status.synced_index) {
+      peak_index_gap_ = std::max(
+          peak_index_gap_,
+          static_cast<std::int64_t>(status.acked_index) -
+              static_cast<std::int64_t>(status.synced_index));
+    }
+    total += lag;
+  }
+  global_.push(simulator_.now(), static_cast<double>(total));
+}
+
+}  // namespace rdtgc::metrics

@@ -1,0 +1,53 @@
+// Periodic sampler of the acknowledged-vs-durable gap across all processes.
+//
+// The paper charges checkpoints to stable storage the moment they are
+// taken; the async durability pipeline (ckpt/durability_pipeline.hpp)
+// relaxes that to a bounded window.  This probe measures how far reality
+// trails the model: per process it samples
+// ShardedCheckpointStore::durability() — operations acknowledged but not
+// yet on the media (lag_ops) and the acknowledged-vs-synced checkpoint
+// index gap — so a sweep can report how much recoverable history a crash
+// at any sampled instant would have cost under the configured policy.
+// Under kSync the lag is identically zero and the probe just certifies it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/node.hpp"
+#include "metrics/running_stat.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdtgc::metrics {
+
+class DurabilityLag {
+ public:
+  DurabilityLag(sim::Simulator& simulator,
+                std::vector<const ckpt::Node*> nodes);
+
+  /// Sample every `period` ticks until `until`.
+  void start(SimTime period, SimTime until);
+
+  /// Take one sample now.
+  void sample();
+
+  /// Total un-synced operations across processes, over time.
+  const TimeSeries& global_series() const { return global_; }
+  /// Per-process running stats of lag_ops.
+  const std::vector<RunningStat>& per_process() const { return per_process_; }
+  /// Largest per-process op lag ever sampled.
+  std::uint64_t peak_lag_ops() const { return peak_lag_ops_; }
+  /// Largest acked-minus-synced checkpoint-index gap ever sampled (how many
+  /// checkpoint indices of lineage a crash at the worst instant would lose).
+  std::int64_t peak_index_gap() const { return peak_index_gap_; }
+
+ private:
+  sim::Simulator& simulator_;
+  std::vector<const ckpt::Node*> nodes_;
+  TimeSeries global_;
+  std::vector<RunningStat> per_process_;
+  std::uint64_t peak_lag_ops_ = 0;
+  std::int64_t peak_index_gap_ = 0;
+};
+
+}  // namespace rdtgc::metrics

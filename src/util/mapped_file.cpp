@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include <atomic>
+
 namespace rdtgc::util {
 
 namespace {
@@ -16,7 +18,31 @@ namespace {
   throw IoError(what + " '" + path + "': " + std::strerror(errno));
 }
 
+// Overrides are atomics so a background-writer thread draining a durability
+// pipeline reads them race-free while a test installs/uninstalls its
+// failure injection on the main thread.
+std::atomic<int (*)(void*, std::size_t, int)> g_msync_override{nullptr};
+std::atomic<int (*)(int)> g_fsync_override{nullptr};
+
 }  // namespace
+
+int io_msync(void* addr, std::size_t length, int flags) {
+  const auto fn = g_msync_override.load(std::memory_order_acquire);
+  return fn != nullptr ? fn(addr, length, flags) : ::msync(addr, length, flags);
+}
+
+int io_fsync(int fd) {
+  const auto fn = g_fsync_override.load(std::memory_order_acquire);
+  return fn != nullptr ? fn(fd) : ::fsync(fd);
+}
+
+void set_io_msync_for_test(int (*fn)(void*, std::size_t, int)) {
+  g_msync_override.store(fn, std::memory_order_release);
+}
+
+void set_io_fsync_for_test(int (*fn)(int)) {
+  g_fsync_override.store(fn, std::memory_order_release);
+}
 
 MappedFile::MappedFile(const std::string& path, Mode mode,
                        std::size_t initial_size) {
@@ -98,7 +124,7 @@ void MappedFile::resize(std::size_t new_size) {
 
 void MappedFile::sync() {
   if (data_ == nullptr) return;
-  if (::msync(data_, size_, MS_SYNC) != 0) throw_errno("msync", path_);
+  if (io_msync(data_, size_, MS_SYNC) != 0) throw_errno("msync", path_);
 }
 
 }  // namespace rdtgc::util

@@ -32,6 +32,26 @@ class IoError : public std::runtime_error {
   explicit IoError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// ---- Durability-syscall seam ------------------------------------------
+//
+// Every *flush durability point* (MappedFile::sync's msync, the log
+// backend's flush fsync) goes through these two entry points instead of
+// calling the libc symbol directly, so tests can inject an fsync/msync
+// failure and assert the error surfaces as IoError with mirror and medium
+// still coherent (tests/durability_test.cpp).  Production behavior is
+// byte-identical: with no override installed they tail-call the real
+// syscall wrappers.
+
+/// msync(2) via the installed override, or the real call when none is set.
+int io_msync(void* addr, std::size_t length, int flags);
+/// fsync(2) via the installed override, or the real call when none is set.
+int io_fsync(int fd);
+
+/// Install (or, with nullptr, remove) the msync/fsync overrides.  TEST
+/// SEAM ONLY — global, not thread-scoped; restore before the test returns.
+void set_io_msync_for_test(int (*fn)(void*, std::size_t, int));
+void set_io_fsync_for_test(int (*fn)(int));
+
 class MappedFile {
  public:
   enum class Mode {

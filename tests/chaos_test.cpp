@@ -56,7 +56,15 @@ StorageConfig media(StorageBackendKind kind, const std::string& directory) {
   config.directory = directory;
   config.initial_slots = 2;
   config.compact_min_records = 16;
-  return config;
+  // Forced-policy CI leg: the whole churn soak runs with the async
+  // durability pipeline under every store (see the restart hook below).
+  return test::with_forced_durability(config);
+}
+
+/// Whether the forced-policy leg put an async pipeline under the stores.
+bool forced_async_durability() {
+  const auto forced = test::forced_durability();
+  return forced.has_value() && forced->mode != ckpt::DurabilityMode::kSync;
 }
 
 /// Everything observable a churn run leaves behind.  Node/GC lifetime
@@ -181,6 +189,12 @@ ChurnResult run_churn_session(Mode mode, StorageBackendKind kind,
   recovery::RestartFn restart;
   if (mode == Mode::kChaosOnMedia) {
     restart = [&system, deep_audit](ProcessId p) {
+      // Forced async policy: drain the victim's commit window first, so the
+      // kill stays bit-identical to the in-memory reference (an un-flushed
+      // kill would resume from an earlier prefix; that contract has its own
+      // tests in durability_test.cpp).  The pipeline lifecycle — writer
+      // teardown, attach, re-drain — is still exercised by every restart.
+      if (forced_async_durability()) system.node(p).store().flush();
       system.restart_node(p);
       // The oracle needs a consistent state: between a kill and its
       // session, the dead incarnation's sends are orphans by construction.

@@ -232,6 +232,93 @@ TEST(ShardedStoreConcurrency, StripedMmapBackendSurvivesParallelChurn) {
   EXPECT_EQ(live.back(), kOld + kNew - 1);
 }
 
+TEST(ShardedStoreConcurrency, BackgroundWriterSurvivesParallelChurn) {
+  // The tsan probe for the durability pipeline's writer thread: a striped
+  // log-backed store under DurabilityPolicy::Background churns puts and
+  // collects from application threads while the background writer drains
+  // the ring into the media concurrently, and reader threads poll the
+  // acked-vs-synced status the whole time.  Every cross-thread edge the
+  // pipeline has is exercised at once — slot publication under the ring
+  // lock, drains under the drain lock, the durable-stats replica feeding
+  // the meta header, and the lock-free status counters.  flush() then
+  // quiesces the ring and the final figures must be exact.
+  constexpr CheckpointIndex kOld = 256;
+  constexpr CheckpointIndex kNew = 256;
+  constexpr int kCollectors = 2;
+  test::ScratchDir dir("striped_background");
+  ckpt::StorageConfig config;
+  config.kind = ckpt::StorageBackendKind::kLogStructured;
+  config.directory = dir.path();
+  config.durability = ckpt::DurabilityPolicy::Background(4);
+  {
+    ckpt::ShardedCheckpointStore store(0, 8,
+                                       ckpt::StoreConcurrency::kStriped,
+                                       config);
+    causality::DependencyVector dv(4);
+    for (CheckpointIndex i = 0; i < kOld; ++i) store.put(i, dv, 0, 1);
+
+    std::atomic<bool> stop{false};
+    std::thread producer([&] {
+      for (CheckpointIndex i = kOld; i < kOld + kNew; ++i)
+        store.put(i, dv, 0, 1);
+    });
+    std::vector<std::thread> collectors;
+    for (int t = 0; t < kCollectors; ++t) {
+      collectors.emplace_back([&store, t] {
+        for (CheckpointIndex i = t; i < kOld; i += kCollectors)
+          store.collect(i);
+      });
+    }
+    std::thread status_reader([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const ckpt::DurabilityStatus status = store.durability();
+        // Acks only ever run ahead of syncs, never behind.
+        ASSERT_GE(status.acked_ops, status.synced_ops);
+      }
+    });
+    std::thread snapshot_reader([&] {
+      std::vector<CheckpointIndex> snapshot;
+      while (!stop.load(std::memory_order_acquire)) {
+        store.snapshot_stored_indices(snapshot);
+        for (std::size_t k = 1; k < snapshot.size(); ++k)
+          ASSERT_LT(snapshot[k - 1], snapshot[k]);
+      }
+    });
+
+    producer.join();
+    for (std::thread& t : collectors) t.join();
+    stop.store(true, std::memory_order_release);
+    status_reader.join();
+    snapshot_reader.join();
+
+    // The acked mirror answers reads, so the figures are exact already.
+    EXPECT_EQ(store.count(), static_cast<std::size_t>(kNew));
+    EXPECT_EQ(store.stats().collected, static_cast<std::uint64_t>(kOld));
+    EXPECT_EQ(store.stats().stored, static_cast<std::uint64_t>(kOld + kNew));
+
+    // flush() quiesces the writer: everything acked is now synced.
+    store.flush();
+    const ckpt::DurabilityStatus status = store.durability();
+    EXPECT_EQ(status.lag_ops(), 0u);
+    EXPECT_EQ(status.acked_ops,
+              static_cast<std::uint64_t>(2 * kOld + kNew));
+    for (std::size_t s = 0; s < 8; ++s)
+      EXPECT_EQ(store.durable_shard(s).count(), store.shard(s).count());
+  }
+
+  // The durable image after the flush is the full final state.
+  config.open_mode = ckpt::OpenMode::kAttach;
+  ckpt::ShardedCheckpointStore reopened(
+      0, 8, ckpt::StoreConcurrency::kUnsynchronized, config);
+  ASSERT_EQ(reopened.recover(), static_cast<std::size_t>(kNew));
+  EXPECT_EQ(reopened.stats().collected, static_cast<std::uint64_t>(kOld));
+  EXPECT_EQ(reopened.stats().stored, static_cast<std::uint64_t>(kOld + kNew));
+  const std::vector<CheckpointIndex>& live = reopened.stored_indices();
+  ASSERT_EQ(live.size(), static_cast<std::size_t>(kNew));
+  EXPECT_EQ(live.front(), kOld);
+  EXPECT_EQ(live.back(), kOld + kNew - 1);
+}
+
 // ---- FleetRunner scheduling contracts ------------------------------------
 
 TEST(FleetRunner, RunsEveryJobExactlyOnce) {

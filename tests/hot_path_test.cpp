@@ -468,5 +468,80 @@ TEST(HotPathAllocations, ShardedStoreChurnIsAllocationFreePerShard) {
   }
 }
 
+TEST(HotPathAllocations, PersistentChurnIsAllocationFreeUnderEveryPolicy) {
+  // The async-durability tentpole's hot-path contract: with a persistent
+  // backend the acknowledge path — flat-mirror put/collect plus a pipeline
+  // ring enqueue into preallocated slots — must stay allocation-free in all
+  // three DurabilityPolicy modes once warm, INCLUDING the inline group
+  // commits the kGroupCommit churn triggers (drains replay through reused
+  // scratch buffers) and the kBackground writer's concurrent drains (the
+  // counter hook is global, so a writer-thread allocation fails this too).
+  // Log compaction is configured out of reach: its rewrite path is off the
+  // steady-state contract, exactly as for the kSync backends.
+  struct Case {
+    ckpt::StorageBackendKind kind;
+    ckpt::DurabilityPolicy policy;
+    const char* name;
+  };
+  const Case cases[] = {
+      {ckpt::StorageBackendKind::kLogStructured,
+       ckpt::DurabilityPolicy::Sync(), "log_sync"},
+      {ckpt::StorageBackendKind::kLogStructured,
+       ckpt::DurabilityPolicy::GroupCommit(4), "log_group"},
+      {ckpt::StorageBackendKind::kLogStructured,
+       ckpt::DurabilityPolicy::Background(4), "log_background"},
+      {ckpt::StorageBackendKind::kMmapFile, ckpt::DurabilityPolicy::Sync(),
+       "mmap_sync"},
+      {ckpt::StorageBackendKind::kMmapFile,
+       ckpt::DurabilityPolicy::GroupCommit(4), "mmap_group"},
+      {ckpt::StorageBackendKind::kMmapFile,
+       ckpt::DurabilityPolicy::Background(4), "mmap_background"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    test::ScratchDir dir(std::string("hot_") + c.name);
+    ckpt::StorageConfig config;
+    config.kind = c.kind;
+    config.directory = dir.path();
+    config.initial_slots = 256;
+    config.compact_min_records = 1u << 20;
+    config.durability = c.policy;
+    ckpt::ShardedCheckpointStore store(
+        0, 8, ckpt::StoreConcurrency::kUnsynchronized, config);
+    causality::DependencyVector dv(8);
+    const CheckpointIndex window =
+        static_cast<CheckpointIndex>(2 * store.shard_count());
+    CheckpointIndex next = 0;
+    // Warm-up: two laps over every stripe size the flat mirrors, the
+    // recycled spares, the pipeline's slot DV buffers, and the backends'
+    // serialization scratch; the flush sizes the drain-side batch buffers
+    // at their maximum (it drains the whole pending window in one pass).
+    for (; next < window; ++next) store.put(next, dv, 0, 1);
+    for (CheckpointIndex g = 0; g < window / 2; ++g) store.collect(g);
+    for (int round = 0; round < 64; ++round) {
+      store.put(next, dv, 0, 1);
+      store.collect(next - window / 2);
+      ++next;
+    }
+    store.flush();
+    (void)store.stored_indices();
+
+    const std::uint64_t before = g_allocation_count.load();
+    for (int round = 0; round < 200; ++round) {
+      store.put(next, dv, 0, 1);
+      store.collect(next - window / 2);
+      ASSERT_FALSE(store.stored_indices().empty());
+      ++next;
+    }
+    EXPECT_EQ(g_allocation_count.load() - before, 0u)
+        << "persistent churn touched the heap under policy " << c.name;
+    if (c.policy.mode == ckpt::DurabilityMode::kGroupCommit) {
+      ASSERT_NE(store.pipeline(), nullptr);
+      EXPECT_GT(store.pipeline()->commits(), 200u / 4u)
+          << "the measured window never exercised an inline group commit";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rdtgc
