@@ -72,6 +72,9 @@ class DvView {
 
   std::size_t size() const { return n_; }
 
+  /// Raw read access to the entries, for bulk copies into arenas.
+  std::span<const IntervalIndex> entries() const { return {data_, n_}; }
+
   /// Entry access; `p` must be a valid process id.
   IntervalIndex operator[](ProcessId p) const;
 

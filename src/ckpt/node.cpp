@@ -8,13 +8,13 @@
 namespace rdtgc::ckpt {
 
 Node::Node(ProcessId self, std::size_t process_count,
-           sim::Simulator& simulator, sim::Network& network,
+           sim::Simulator& simulator, transport::Transport& transport,
            ccp::CcpRecorder& recorder,
            std::unique_ptr<CheckpointingProtocol> protocol,
            std::unique_ptr<GarbageCollector> gc, Config config)
     : self_(self),
       simulator_(simulator),
-      network_(network),
+      transport_(transport),
       recorder_(recorder),
       protocol_(std::move(protocol)),
       gc_(std::move(gc)),
@@ -25,7 +25,7 @@ Node::Node(ProcessId self, std::size_t process_count,
       gc_scratch_(process_count) {
   RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
   RDTGC_EXPECTS(protocol_ != nullptr && gc_ != nullptr);
-  network_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
+  transport_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
   if (config.storage.open_mode == OpenMode::kAttach) {
     attach_from_storage(process_count);
   } else {
@@ -66,9 +66,35 @@ void Node::attach_from_storage(std::size_t process_count) {
   dv_.at(self_) += 1;
   sent_since_checkpoint_ = false;
 
-  // The recorder observed the pre-crash lineage; the death of this process
-  // kills its volatile-interval events, and the new dv_ replaces the dead
-  // Node's registered view.
+  // A recorder with no lineage for this process is a REAL re-attach: the
+  // pre-crash OS process died together with the recorder that observed it
+  // (the socket-transport worker path, transport/worker.hpp), and the
+  // replacement starts empty.  Re-seed the dense rows 0..last from the
+  // media so the restart below has a lineage to resume.  Checkpoints the
+  // collector discarded left no DV trace; their rows are monotone
+  // placeholders (previous surviving row with the self entry advanced) —
+  // observer-grade only, global certification is the replay oracle's job.
+  if (recorder_.checkpoints(self_).empty()) {
+    causality::DependencyVector row(process_count);
+    for (CheckpointIndex g = 0; g <= last; ++g) {
+      if (store_.contains(g)) {
+        const causality::DvView stored = store_.dv_view(g);
+        for (std::size_t j = 0; j < process_count; ++j)
+          row.at(static_cast<ProcessId>(j)) =
+              stored[static_cast<ProcessId>(j)];
+      } else {
+        row.at(self_) = g;
+      }
+      recorder_.seed_checkpoint(self_, g, row.view(),
+                                g == 0 ? ccp::CheckpointKind::kInitial
+                                       : ccp::CheckpointKind::kBasic,
+                                simulator_.now());
+    }
+  }
+
+  // The recorder observed (or just re-seeded) the pre-crash lineage; the
+  // death of this process kills its volatile-interval events, and the new
+  // dv_ replaces the dead Node's registered view.
   recorder_.record_restart(self_, last, simulator_.now());
   recorder_.reattach_volatile_dv(self_, &dv_);
   // Certification: the oracle's surviving rows must match the media
@@ -85,7 +111,7 @@ void Node::attach_from_storage(std::size_t process_count) {
 
 sim::MessageId Node::send_app_message(ProcessId dst, std::uint64_t bytes) {
   RDTGC_EXPECTS(dst != self_);
-  sim::Message m = network_.make_message();  // recycled DV buffer
+  sim::Message m = transport_.make_message();  // recycled DV buffer
   m.src = self_;
   m.dst = dst;
   m.dv = dv_;
@@ -95,7 +121,7 @@ sim::MessageId Node::send_app_message(ProcessId dst, std::uint64_t bytes) {
   recorder_.record_send(m, simulator_.now());
   sent_since_checkpoint_ = true;
   ++counters_.messages_sent;
-  return network_.send(std::move(m));
+  return transport_.send(std::move(m));
 }
 
 void Node::take_basic_checkpoint() {

@@ -29,8 +29,8 @@
 #include "ckpt/garbage_collector.hpp"
 #include "ckpt/sharded_checkpoint_store.hpp"
 #include "ckpt/protocol.hpp"
-#include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "transport/transport.hpp"
 
 namespace rdtgc::ckpt {
 
@@ -68,15 +68,25 @@ class Node {
   };
 
   /// Constructs the process and registers its delivery sink with the
-  /// network.  With OpenMode::kFresh the node then stores the initial
-  /// stable checkpoint s^0 (§2.2); with OpenMode::kAttach it instead
-  /// recovers the store from its media and resumes the persisted lineage
-  /// (see Config::storage).  Attaching requires a persistent storage kind,
-  /// at least one surviving checkpoint, and a recorder that observed the
-  /// pre-crash lineage (the oracle certifies, it is not rebuilt from media:
-  /// collected checkpoints left no trace to rebuild from).
+  /// transport (sim::Network for simulated systems, transport::UdsTransport
+  /// inside a real worker process).  With OpenMode::kFresh the node then
+  /// stores the initial stable checkpoint s^0 (§2.2); with OpenMode::kAttach
+  /// it instead recovers the store from its media and resumes the persisted
+  /// lineage (see Config::storage).  Attaching requires a persistent storage
+  /// kind and at least one surviving checkpoint.  Two recorder situations
+  /// exist at attach:
+  ///  * the recorder observed the pre-crash lineage (in-simulator warm
+  ///    restart) — the oracle's surviving rows are re-certified against the
+  ///    media bit-for-bit;
+  ///  * the recorder is empty for this process (a REAL re-attach: the old
+  ///    OS process died with its recorder, the replacement starts fresh) —
+  ///    the lineage is re-seeded from the media
+  ///    (CcpRecorder::seed_checkpoint), observer-grade only: collected
+  ///    checkpoints left no DV trace, so their rows are monotone
+  ///    placeholders and global certification is the replay oracle's job
+  ///    (transport/replay.hpp).
   Node(ProcessId self, std::size_t process_count, sim::Simulator& simulator,
-       sim::Network& network, ccp::CcpRecorder& recorder,
+       transport::Transport& transport, ccp::CcpRecorder& recorder,
        std::unique_ptr<CheckpointingProtocol> protocol,
        std::unique_ptr<GarbageCollector> gc, Config config = Config());
 
@@ -133,7 +143,7 @@ class Node {
 
   ProcessId self_;
   sim::Simulator& simulator_;
-  sim::Network& network_;
+  transport::Transport& transport_;
   ccp::CcpRecorder& recorder_;
   std::unique_ptr<CheckpointingProtocol> protocol_;
   std::unique_ptr<GarbageCollector> gc_;

@@ -15,14 +15,20 @@
 
 #include "sim/message.hpp"
 #include "sim/simulator.hpp"
+#include "transport/transport.hpp"
 #include "util/rng.hpp"
 
 namespace rdtgc::sim {
 
 /// Delivery sink for a destination process.
-using DeliveryFn = std::function<void(const Message&)>;
+using DeliveryFn = transport::DeliveryFn;
 
-class Network {
+/// The deterministic reference implementation of transport::Transport:
+/// every in-simulator run speaks to it through the trait's narrow waist,
+/// and a recorded socket run (transport::UdsTransport) is certified by
+/// replaying its merged event log through this class in manual mode
+/// (transport/replay.hpp).
+class Network final : public transport::Transport {
  public:
   struct Config {
     SimTime min_delay = 1;   ///< inclusive lower bound on transit time
@@ -47,7 +53,7 @@ class Network {
 
   /// Register the delivery callback for process `p`.  Must be called once per
   /// destination before any send to it (again after disconnect(p)).
-  void connect(ProcessId p, DeliveryFn sink);
+  void connect(ProcessId p, DeliveryFn sink) override;
 
   /// Unregister process `p` (its process died — harness::System's
   /// restart_node drives this): the sink slot frees for a reconnect, and
@@ -55,16 +61,16 @@ class Network {
   /// immediately, scheduled ones when their delivery event surfaces (p's
   /// epoch is bumped, so the stale closure self-discards exactly like the
   /// drop_in_flight() path).  Counted in stats().dropped_in_flight.
-  void disconnect(ProcessId p);
+  void disconnect(ProcessId p) override;
 
   /// Send `m` (id and sent_at are assigned here).  Returns the message id.
-  MessageId send(Message m);
+  MessageId send(Message m) override;
 
   /// A blank message shell whose dependency-vector buffer is recycled from
   /// the most recently delivered message: filling it with a same-size DV
   /// copy performs no heap allocation.  Senders on the hot path should
   /// start from this instead of a default-constructed Message.
-  Message make_message();
+  Message make_message() override;
 
   /// Drop every message currently in flight (used during recovery sessions).
   void drop_in_flight();

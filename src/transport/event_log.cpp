@@ -1,0 +1,246 @@
+#include "transport/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rdtgc::transport {
+
+namespace {
+
+// Per-kind line formats (strict token order; `dv`/`stored` comma-joined):
+//   attach p=2 inc=1 last=4 dv=0,0,5,1
+//   send src=1 sinc=0 seq=3 dst=2 si=4 bytes=1 dv=0,4,2,1
+//   deliver dst=2 dinc=0 src=1 sinc=0 seq=3 ri=5 forced=1 dv=1,4,5,2
+//   ckpt p=0 inc=0 idx=3 kind=1 dv=3,1,0,0
+//   kill p=2
+//   ukill p=2
+//   drop src=1 sinc=0 seq=7 dst=2
+//   state p=0 inc=0 last=6 basic=3 forced=2 sent=9 recv=8 rb=0 dv=... stored=0,2,6
+
+template <typename T>
+void join(std::ostringstream& os, const std::vector<T>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << v[i];
+  }
+}
+
+/// Pull the next "key=value" token off `in`; false unless the key matches.
+bool token(std::istringstream& in, const char* key, std::string& value) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  const std::string prefix = std::string(key) + "=";
+  if (tok.rfind(prefix, 0) != 0) return false;
+  value = tok.substr(prefix.size());
+  return true;
+}
+
+template <typename T>
+bool parse_int(std::istringstream& in, const char* key, T& out) {
+  std::string value;
+  if (!token(in, key, value)) return false;
+  try {
+    out = static_cast<T>(std::stoll(value));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool parse_vec(std::istringstream& in, const char* key, std::vector<T>& out) {
+  std::string value;
+  if (!token(in, key, value)) return false;
+  out.clear();
+  if (value.empty()) return true;  // empty vector encodes as "dv="
+  std::istringstream items(value);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    try {
+      out.push_back(static_cast<T>(std::stoll(item)));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAttach:      return "attach";
+    case EventKind::kSend:        return "send";
+    case EventKind::kDeliver:     return "deliver";
+    case EventKind::kCheckpoint:  return "ckpt";
+    case EventKind::kKill:        return "kill";
+    case EventKind::kUncleanKill: return "ukill";
+    case EventKind::kDrop:        return "drop";
+    case EventKind::kState:       return "state";
+  }
+  return "unknown";
+}
+
+std::string event_to_line(const Event& e) {
+  std::ostringstream os;
+  os << event_kind_name(e.kind);
+  switch (e.kind) {
+    case EventKind::kAttach:
+      os << " p=" << e.p << " inc=" << e.incarnation << " last=" << e.index
+         << " dv=";
+      join(os, e.dv);
+      break;
+    case EventKind::kSend:
+      os << " src=" << e.src << " sinc=" << e.src_incarnation
+         << " seq=" << e.seq << " dst=" << e.dst << " si=" << e.interval
+         << " bytes=" << e.bytes << " dv=";
+      join(os, e.dv);
+      break;
+    case EventKind::kDeliver:
+      os << " dst=" << e.dst << " dinc=" << e.incarnation << " src=" << e.src
+         << " sinc=" << e.src_incarnation << " seq=" << e.seq
+         << " ri=" << e.interval << " forced=" << unsigned{e.forced}
+         << " dv=";
+      join(os, e.dv);
+      break;
+    case EventKind::kCheckpoint:
+      os << " p=" << e.p << " inc=" << e.incarnation << " idx=" << e.index
+         << " kind=" << unsigned{e.ckpt_kind} << " dv=";
+      join(os, e.dv);
+      break;
+    case EventKind::kKill:
+    case EventKind::kUncleanKill:
+      os << " p=" << e.p;
+      break;
+    case EventKind::kDrop:
+      os << " src=" << e.src << " sinc=" << e.src_incarnation
+         << " seq=" << e.seq << " dst=" << e.dst;
+      break;
+    case EventKind::kState:
+      os << " p=" << e.p << " inc=" << e.incarnation << " last=" << e.index
+         << " basic=" << e.basic << " forced=" << e.forced_count
+         << " sent=" << e.sent << " recv=" << e.received
+         << " rb=" << e.rollbacks << " dv=";
+      join(os, e.dv);
+      os << " stored=";
+      join(os, e.stored);
+      break;
+  }
+  return os.str();
+}
+
+bool event_from_line(const std::string& line, Event& out) {
+  std::istringstream in(line);
+  std::string kind;
+  if (!(in >> kind)) return false;
+  out = Event{};
+
+  const auto done = [&in] {
+    std::string rest;
+    return !(in >> rest);  // no trailing tokens allowed
+  };
+
+  if (kind == "attach") {
+    out.kind = EventKind::kAttach;
+    return parse_int(in, "p", out.p) && parse_int(in, "inc", out.incarnation) &&
+           parse_int(in, "last", out.index) && parse_vec(in, "dv", out.dv) &&
+           done();
+  }
+  if (kind == "send") {
+    out.kind = EventKind::kSend;
+    return parse_int(in, "src", out.src) &&
+           parse_int(in, "sinc", out.src_incarnation) &&
+           parse_int(in, "seq", out.seq) && parse_int(in, "dst", out.dst) &&
+           parse_int(in, "si", out.interval) &&
+           parse_int(in, "bytes", out.bytes) && parse_vec(in, "dv", out.dv) &&
+           done();
+  }
+  if (kind == "deliver") {
+    out.kind = EventKind::kDeliver;
+    return parse_int(in, "dst", out.dst) &&
+           parse_int(in, "dinc", out.incarnation) &&
+           parse_int(in, "src", out.src) &&
+           parse_int(in, "sinc", out.src_incarnation) &&
+           parse_int(in, "seq", out.seq) && parse_int(in, "ri", out.interval) &&
+           parse_int(in, "forced", out.forced) &&
+           parse_vec(in, "dv", out.dv) && done();
+  }
+  if (kind == "ckpt") {
+    out.kind = EventKind::kCheckpoint;
+    return parse_int(in, "p", out.p) && parse_int(in, "inc", out.incarnation) &&
+           parse_int(in, "idx", out.index) &&
+           parse_int(in, "kind", out.ckpt_kind) &&
+           parse_vec(in, "dv", out.dv) && done();
+  }
+  if (kind == "kill" || kind == "ukill") {
+    out.kind = kind == "kill" ? EventKind::kKill : EventKind::kUncleanKill;
+    return parse_int(in, "p", out.p) && done();
+  }
+  if (kind == "drop") {
+    out.kind = EventKind::kDrop;
+    return parse_int(in, "src", out.src) &&
+           parse_int(in, "sinc", out.src_incarnation) &&
+           parse_int(in, "seq", out.seq) && parse_int(in, "dst", out.dst) &&
+           done();
+  }
+  if (kind == "state") {
+    out.kind = EventKind::kState;
+    return parse_int(in, "p", out.p) && parse_int(in, "inc", out.incarnation) &&
+           parse_int(in, "last", out.index) &&
+           parse_int(in, "basic", out.basic) &&
+           parse_int(in, "forced", out.forced_count) &&
+           parse_int(in, "sent", out.sent) &&
+           parse_int(in, "recv", out.received) &&
+           parse_int(in, "rb", out.rollbacks) && parse_vec(in, "dv", out.dv) &&
+           parse_vec(in, "stored", out.stored) && done();
+  }
+  return false;
+}
+
+EventLogWriter::EventLogWriter(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  RDTGC_EXPECTS(fd_ >= 0);
+}
+
+EventLogWriter::~EventLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventLogWriter::append(const Event& e) {
+  std::string line = event_to_line(e);
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      RDTGC_ASSERT(false);  // scratch-dir log writes do not fail in practice
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++events_;
+}
+
+std::vector<Event> read_event_log(const std::string& path) {
+  std::ifstream in(path);
+  RDTGC_EXPECTS(in.good());
+  std::vector<Event> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Event e;
+    if (!event_from_line(line, e))
+      throw util::ContractViolation("malformed event-log line: " + line);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace rdtgc::transport

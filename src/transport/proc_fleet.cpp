@@ -1,0 +1,488 @@
+#include "transport/proc_fleet.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rdtgc::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+}  // namespace
+
+ProcFleet::ProcFleet(FleetConfig config) : config_(std::move(config)) {
+  RDTGC_EXPECTS(config_.process_count >= 2);
+  RDTGC_EXPECTS(!config_.scratch_dir.empty() &&
+                !config_.worker_binary.empty());
+  RDTGC_EXPECTS(config_.backend != ckpt::StorageBackendKind::kInMemory);
+  workers_.resize(config_.process_count);
+  out_.resize(config_.process_count);
+  socket_path_ = config_.scratch_dir + "/fleet.sock";
+  log_path_ = config_.scratch_dir + "/events.log";
+}
+
+ProcFleet::~ProcFleet() {
+  for (Worker& w : workers_) {
+    if (w.pid > 0 && w.alive) kill_process(w);
+  }
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+std::string ProcFleet::storage_dir(ProcessId p) const {
+  return config_.scratch_dir + "/p" + std::to_string(p);
+}
+
+std::uint32_t ProcFleet::incarnation(ProcessId p) const {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
+  return workers_[static_cast<std::size_t>(p)].incarnation;
+}
+
+bool ProcFleet::fail(const std::string& what) {
+  if (error_.empty()) error_ = what;
+  return false;
+}
+
+bool ProcFleet::start() {
+  RDTGC_EXPECTS(!started_);
+  started_ = true;
+  for (std::size_t p = 0; p < config_.process_count; ++p)
+    std::filesystem::create_directories(
+        storage_dir(static_cast<ProcessId>(p)));
+  log_ = std::make_unique<EventLogWriter>(log_path_);
+  listener_ = uds_listen(socket_path_,
+                         static_cast<int>(config_.process_count) + 4);
+  if (!listener_.valid()) return fail("bind/listen failed: " + socket_path_);
+  for (std::size_t p = 0; p < config_.process_count; ++p) {
+    if (!spawn(static_cast<ProcessId>(p), 0)) return false;
+  }
+  // Workers race to connect; each Hello identifies its sender.
+  for (std::size_t i = 0; i < config_.process_count; ++i) {
+    if (!await_hello(-1)) return false;
+  }
+  return true;
+}
+
+bool ProcFleet::spawn(ProcessId p, std::uint32_t incarnation) {
+  const std::vector<std::string> args = {
+      config_.worker_binary,
+      socket_path_,
+      std::to_string(p),
+      std::to_string(config_.process_count),
+      std::to_string(incarnation),
+      std::to_string(static_cast<int>(config_.protocol)),
+      std::to_string(static_cast<int>(config_.backend)),
+      storage_dir(p),
+      std::to_string(config_.checkpoint_bytes),
+      std::to_string(config_.worker_idle_timeout_ms),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return fail("fork failed");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the parent sees a dead connectionless child
+  }
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  w.pid = pid;
+  w.incarnation = incarnation;
+  w.alive = false;  // until its Hello arrives
+  w.draining = false;
+  w.state_received = false;
+  return true;
+}
+
+bool ProcFleet::await_hello(ProcessId expected) {
+  Fd fd = uds_accept(listener_.get(), config_.step_timeout_ms);
+  if (!fd.valid()) return fail("no worker connected within the deadline");
+  const RecvStatus status = recv_frame(fd.get(), in_, config_.step_timeout_ms);
+  if (status != RecvStatus::kFrame)
+    return fail("worker connected but sent no Hello");
+  const WireError err = decode_frame(in_, frame_);
+  if (err != WireError::kOk)
+    return fail(std::string("bad Hello frame: ") + wire_error_name(err));
+  if (frame_.header.kind() != FrameKind::kHello)
+    return fail("first worker frame was not Hello");
+  const ProcessId p = frame_.header.src;
+  if (p < 0 || static_cast<std::size_t>(p) >= workers_.size())
+    return fail("Hello from unknown process id");
+  if (expected >= 0 && p != expected)
+    return fail("Hello from the wrong process after a restart");
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  if (w.alive) return fail("duplicate Hello");
+  if (frame_.header.incarnation != w.incarnation)
+    return fail("Hello carries the wrong incarnation");
+  w.fd = std::move(fd);
+  w.alive = true;
+  w.draining = false;
+
+  Event e;
+  e.kind = EventKind::kAttach;
+  e.p = p;
+  e.incarnation = w.incarnation;
+  e.index = frame_.hello.last_index;
+  e.dv = frame_.hello.dv;
+  log_->append(e);
+  return true;
+}
+
+bool ProcFleet::pump(int wait_ms) {
+  std::vector<pollfd> fds;
+  std::vector<ProcessId> owner;
+  for (std::size_t p = 0; p < workers_.size(); ++p) {
+    Worker& w = workers_[p];
+    if (!w.alive) continue;
+    short events = POLLIN;
+    if (!out_[p].empty()) events |= POLLOUT;
+    fds.push_back(pollfd{w.fd.get(), events, 0});
+    owner.push_back(static_cast<ProcessId>(p));
+  }
+  if (fds.empty()) return true;
+  int rc = ::poll(fds.data(), fds.size(), wait_ms);
+  if (rc < 0 && errno != EINTR) return fail("poll failed");
+  if (rc <= 0) return true;
+
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const ProcessId p = owner[i];
+    Worker& w = workers_[static_cast<std::size_t>(p)];
+    if (!w.alive) continue;  // killed while handling an earlier fd
+    if (fds[i].revents & POLLOUT) {
+      auto& queue = out_[static_cast<std::size_t>(p)];
+      while (!queue.empty()) {
+        const int sent = try_send_frame(w.fd.get(), queue.front());
+        if (sent == 0) break;
+        if (sent < 0) {
+          if (!w.draining) return fail("worker socket died mid-write");
+          break;
+        }
+        queue.pop_front();
+      }
+    }
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      for (;;) {
+        const RecvStatus status = recv_frame(w.fd.get(), in_, 0);
+        if (status == RecvStatus::kTimeout) break;
+        if (status == RecvStatus::kClosed || status == RecvStatus::kError) {
+          // Expected after a Shutdown command completed; fatal otherwise.
+          if (!w.state_received && !w.draining)
+            return fail("worker p" + std::to_string(p) + " died unexpectedly");
+          w.alive = false;
+          w.fd.reset();
+          break;
+        }
+        const WireError err = decode_frame(in_, frame_);
+        if (err != WireError::kOk)
+          return fail(std::string("bad frame from worker: ") +
+                      wire_error_name(err));
+        if (!handle_frame(p, frame_)) return false;
+        if (!w.alive) break;  // frame handling can retire the worker
+      }
+    }
+  }
+  return true;
+}
+
+template <typename Pred>
+bool ProcFleet::pump_until(Pred done, const char* what) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.step_timeout_ms);
+  while (!done()) {
+    if (!error_.empty()) return false;
+    const int left = ms_left(deadline);
+    if (left == 0)
+      return fail(std::string("deadline expired waiting for ") + what);
+    if (!pump(std::min(left, 50))) return false;
+  }
+  return true;
+}
+
+bool ProcFleet::handle_frame(ProcessId p, const DecodedFrame& frame) {
+  if (frame.header.src != p)
+    return fail("frame src does not match its socket");
+  switch (frame.header.kind()) {
+    case FrameKind::kData:
+      route_data(frame);
+      return true;
+    case FrameKind::kRecvAck: {
+      Event e;
+      e.kind = EventKind::kDeliver;
+      e.dst = p;
+      e.incarnation = frame.header.incarnation;
+      e.src = frame.recv_ack.msg_src;
+      e.src_incarnation = frame.recv_ack.msg_incarnation;
+      e.seq = frame.recv_ack.msg_seq;
+      e.interval = frame.recv_ack.recv_interval;
+      e.forced = frame.recv_ack.forced;
+      e.dv = frame.recv_ack.dv_after;
+      log_->append(e);
+      outstanding_.erase(
+          MsgKey{e.src, e.src_incarnation, e.seq});
+      return true;
+    }
+    case FrameKind::kCheckpoint: {
+      Event e;
+      e.kind = EventKind::kCheckpoint;
+      e.p = p;
+      e.incarnation = frame.header.incarnation;
+      e.index = frame.checkpoint.index;
+      e.ckpt_kind = frame.checkpoint.kind;
+      e.dv = frame.checkpoint.dv;
+      log_->append(e);
+      return true;
+    }
+    case FrameKind::kCmdDone: {
+      Worker& w = workers_[static_cast<std::size_t>(p)];
+      w.last_done_seq = std::max(w.last_done_seq, frame.cmd_done.cmd_seq);
+      return true;
+    }
+    case FrameKind::kState: {
+      Worker& w = workers_[static_cast<std::size_t>(p)];
+      w.state_received = true;
+      w.state = frame.state;
+      Event e;
+      e.kind = EventKind::kState;
+      e.p = p;
+      e.incarnation = frame.header.incarnation;
+      e.index = frame.state.last_index;
+      e.basic = frame.state.basic;
+      e.forced_count = frame.state.forced;
+      e.sent = frame.state.sent;
+      e.received = frame.state.received;
+      e.rollbacks = frame.state.rollbacks;
+      e.dv = frame.state.dv;
+      e.stored = frame.state.stored;
+      log_->append(e);
+      return true;
+    }
+    default:
+      return fail("unexpected frame kind from worker");
+  }
+}
+
+void ProcFleet::route_data(const DecodedFrame& frame) {
+  // The send happened regardless of the destination's fate: it is part of
+  // the sender's protocol state and the replay re-executes it.
+  Event e;
+  e.kind = EventKind::kSend;
+  e.src = frame.header.src;
+  e.src_incarnation = frame.header.incarnation;
+  e.seq = frame.header.seq;
+  e.dst = frame.header.dst;
+  e.interval = frame.data.send_interval;
+  e.bytes = frame.data.bytes;
+  e.dv = frame.data.dv;
+  log_->append(e);
+
+  const ProcessId dst = frame.header.dst;
+  Worker* w = (dst >= 0 && static_cast<std::size_t>(dst) < workers_.size())
+                  ? &workers_[static_cast<std::size_t>(dst)]
+                  : nullptr;
+  if (w == nullptr || !w->alive || w->draining) {
+    // In transit to a dead process: lost, exactly like the simulator's
+    // disconnect drop (the replay purges it the same way).
+    Event d;
+    d.kind = EventKind::kDrop;
+    d.src = e.src;
+    d.src_incarnation = e.src_incarnation;
+    d.seq = e.seq;
+    d.dst = dst;
+    log_->append(d);
+    ++dropped_;
+    return;
+  }
+  FrameMeta meta;
+  meta.src = e.src;
+  meta.dst = dst;
+  meta.incarnation = e.src_incarnation;
+  meta.seq = e.seq;
+  encode_data(scratch_, meta, frame.data);
+  out_[static_cast<std::size_t>(dst)].push_back(scratch_);
+  outstanding_[MsgKey{e.src, e.src_incarnation, e.seq}] = dst;
+}
+
+bool ProcFleet::send_cmd(ProcessId p, CmdOp op, ProcessId target,
+                         std::uint64_t param, std::uint64_t& cmd_seq) {
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  if (!w.alive) return fail("command to a dead worker");
+  cmd_seq = ++w.next_cmd_seq;
+  CmdBody body;
+  body.op = static_cast<std::uint8_t>(op);
+  body.target = target;
+  body.param = param;
+  FrameMeta meta;
+  meta.src = -1;
+  meta.dst = p;
+  meta.incarnation = w.incarnation;
+  meta.seq = cmd_seq;
+  encode_cmd(scratch_, meta, body);
+  out_[static_cast<std::size_t>(p)].push_back(scratch_);
+  return true;
+}
+
+bool ProcFleet::run_cmd(ProcessId p, CmdOp op, ProcessId target,
+                        std::uint64_t param) {
+  std::uint64_t cmd_seq = 0;
+  if (!send_cmd(p, op, target, param, cmd_seq)) return false;
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  return pump_until([&] { return w.last_done_seq >= cmd_seq; },
+                    "command completion");
+}
+
+bool ProcFleet::send_app(ProcessId src, ProcessId dst, std::uint64_t bytes) {
+  RDTGC_EXPECTS(src != dst);
+  return run_cmd(src, CmdOp::kSendApp, dst, bytes);
+}
+
+bool ProcFleet::basic_checkpoint(ProcessId p) {
+  return run_cmd(p, CmdOp::kCheckpoint, -1, 0);
+}
+
+bool ProcFleet::outstanding_from(ProcessId p) const {
+  for (const auto& [key, dst] : outstanding_) {
+    if (key.src == p || dst == p) return true;
+  }
+  return false;
+}
+
+void ProcFleet::drop_outstanding_to(ProcessId dead) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second == dead) {
+      Event d;
+      d.kind = EventKind::kDrop;
+      d.src = it->first.src;
+      d.src_incarnation = it->first.incarnation;
+      d.seq = it->first.seq;
+      d.dst = dead;
+      log_->append(d);
+      ++dropped_;
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProcFleet::kill_process(Worker& w) {
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    w.pid = -1;
+  }
+  w.fd.reset();
+  w.alive = false;
+}
+
+bool ProcFleet::kill_and_restart(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  if (!w.alive) return fail("kill of a dead worker");
+  // From this point nothing new is routed to p — later arrivals are "in
+  // transit at the death" and drop.  Frames already queued toward p drain
+  // ahead of the Quiesce command (FIFO), so p still acknowledges them.
+  w.draining = true;
+  std::uint64_t cmd_seq = 0;
+  if (!send_cmd(p, CmdOp::kQuiesce, -1, 0, cmd_seq)) return false;
+  // The quiesce point: p acknowledged the drain AND every message p itself
+  // sent has been delivered or dropped.  At this point the event log holds
+  // everything p's death can affect, and a SIGKILL loses nothing unlogged —
+  // the simulator's disconnect purge and the kernel's buffer discard then
+  // agree exactly.
+  if (!pump_until(
+          [&] {
+            return w.last_done_seq >= cmd_seq && !outstanding_from(p);
+          },
+          "quiesce drain")) {
+    return false;
+  }
+  Event e;
+  e.kind = EventKind::kKill;
+  e.p = p;
+  log_->append(e);
+  kill_process(w);
+  if (!spawn(p, w.incarnation + 1)) return false;
+  return await_hello(p);
+}
+
+bool ProcFleet::kill_unclean(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  if (!w.alive) return fail("kill of a dead worker");
+  Event e;
+  e.kind = EventKind::kUncleanKill;
+  e.p = p;
+  log_->append(e);
+  w.draining = true;  // silence "died unexpectedly" while we tear it down
+  kill_process(w);
+  out_[static_cast<std::size_t>(p)].clear();
+  drop_outstanding_to(p);
+  return true;
+}
+
+bool ProcFleet::restart(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
+  Worker& w = workers_[static_cast<std::size_t>(p)];
+  if (w.alive) return fail("restart of a live worker");
+  if (!spawn(p, w.incarnation + 1)) return false;
+  return await_hello(p);
+}
+
+bool ProcFleet::shutdown() {
+  // Let every in-flight delivery surface first so the final States are
+  // quiescent (messages to workers downed by kill_unclean were dropped at
+  // the kill).
+  if (!pump_until([&] { return outstanding_.empty(); }, "delivery drain"))
+    return false;
+  std::vector<std::uint64_t> seqs(workers_.size(), 0);
+  for (std::size_t p = 0; p < workers_.size(); ++p) {
+    Worker& w = workers_[p];
+    if (!w.alive) continue;
+    if (!send_cmd(static_cast<ProcessId>(p), CmdOp::kShutdown, -1, 0,
+                  seqs[p])) {
+      return false;
+    }
+    w.draining = true;  // the post-State socket close is expected
+  }
+  if (!pump_until(
+          [&] {
+            for (const Worker& w : workers_)
+              if (w.pid > 0 && w.alive && !w.state_received) return false;
+            return true;
+          },
+          "final State digests")) {
+    return false;
+  }
+  for (Worker& w : workers_) {
+    if (w.pid > 0) {
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+    w.fd.reset();
+    w.alive = false;
+  }
+  return true;
+}
+
+}  // namespace rdtgc::transport

@@ -1,0 +1,194 @@
+// Versioned wire format of the socket transport.
+//
+// Every frame is one SOCK_SEQPACKET datagram: a fixed 32-byte little-endian
+// header followed by a kind-specific payload.  The header carries the byte
+// length redundantly with the datagram size so a truncated or padded frame
+// is detected even on transports that do not preserve message boundaries.
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//        0     4  magic          0x52445447 ("RDTG")
+//        4     4  length         total frame bytes, header included
+//        8     2  version        kWireVersion (reject anything else)
+//       10     2  kind           FrameKind
+//       12     4  src            sending process id (-1: the fleet parent)
+//       16     4  dst            destination process id (-1: the parent)
+//       20     4  incarnation    sender's incarnation (0 = first spawn)
+//       24     8  seq            per-sender frame sequence, 1-based
+//
+// Payloads serialize integers little-endian at fixed widths and dependency
+// vectors as a u32 entry count followed by the i32 entries.  Decoding never
+// trusts the input: every read is bounds-checked, lengths are validated
+// against kMaxFrameBytes and kMaxWireProcesses, and the decoder consumes the
+// payload exactly (trailing bytes are an error) — the fuzz property tests
+// in tests/wire_test.cpp feed truncated/overlong/bit-flipped frames under
+// ASan/UBSan and expect a clean WireError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "causality/types.hpp"
+#include "sim/message.hpp"
+
+namespace rdtgc::transport {
+
+inline constexpr std::uint32_t kWireMagic = 0x52445447;  // "RDTG"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 32;
+/// Upper bound on one frame; a 4096-process State frame fits comfortably.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+/// Upper bound on serialized DV width / stored-index lists.
+inline constexpr std::size_t kMaxWireProcesses = 4096;
+
+enum class FrameKind : std::uint16_t {
+  kHello = 1,       ///< worker -> parent: (re)joined, recovered state digest
+  kData = 2,        ///< application message, DV piggybacked
+  kRecvAck = 3,     ///< worker -> parent: delivery record for the event log
+  kCheckpoint = 4,  ///< worker -> parent: basic checkpoint record
+  kCmd = 5,         ///< parent -> worker: workload command
+  kCmdDone = 6,     ///< worker -> parent: command completed
+  kState = 7,       ///< worker -> parent: final state digest (at shutdown)
+};
+
+enum class WireError : std::uint8_t {
+  kOk = 0,
+  kTooShort,    ///< fewer bytes than one header
+  kBadMagic,
+  kBadVersion,
+  kBadLength,   ///< header length != actual bytes, or > kMaxFrameBytes
+  kBadKind,
+  kTruncated,   ///< payload ended inside a field
+  kTrailing,    ///< payload longer than its kind's encoding
+  kOverlong,    ///< a count field exceeds kMaxWireProcesses
+};
+
+const char* wire_error_name(WireError e);
+
+struct FrameHeader {
+  std::uint16_t kind_raw = 0;
+  ProcessId src = -1;
+  ProcessId dst = -1;
+  std::uint32_t incarnation = 0;
+  std::uint64_t seq = 0;
+
+  FrameKind kind() const { return static_cast<FrameKind>(kind_raw); }
+};
+
+// ---- Typed payloads -------------------------------------------------------
+
+/// Worker joined (incarnation 0: fresh, s^0 just stored) or re-attached
+/// (incarnation > 0: recovered from its media).  last_index/dv digest the
+/// recovered state so the replay oracle can assert the re-attach was exact.
+struct HelloBody {
+  CheckpointIndex last_index = 0;
+  std::vector<IntervalIndex> dv;
+};
+
+/// An application message (sim::Message on the wire).  The sender's
+/// (src, incarnation, seq) triple is the cross-process message identity —
+/// worker-local sim::MessageIds do not survive the socket hop.
+struct DataBody {
+  IntervalIndex send_interval = 0;
+  std::uint64_t bytes = 0;
+  std::vector<IntervalIndex> dv;
+};
+
+/// Delivery record: destination processed Data frame (msg_src,
+/// msg_incarnation, msg_seq); dv_after is the receiver's vector AFTER the
+/// merge, forced is 1 iff the protocol forced a checkpoint before the
+/// receipt.  The replay oracle re-delivers and asserts both.
+struct RecvAckBody {
+  ProcessId msg_src = -1;
+  std::uint32_t msg_incarnation = 0;
+  std::uint64_t msg_seq = 0;
+  IntervalIndex recv_interval = 0;
+  std::uint8_t forced = 0;
+  std::vector<IntervalIndex> dv_after;
+};
+
+/// Basic checkpoint stored by the worker (forced ones ride on RecvAck).
+struct CheckpointBody {
+  CheckpointIndex index = 0;
+  std::uint8_t kind = 0;  ///< ccp::CheckpointKind as u8
+  std::vector<IntervalIndex> dv;
+};
+
+enum class CmdOp : std::uint8_t {
+  kSendApp = 1,     ///< send an application message to `target`, `param` bytes
+  kCheckpoint = 2,  ///< take a basic checkpoint
+  kQuiesce = 3,     ///< flush everything, then ack (pre-SIGKILL drain)
+  kShutdown = 4,    ///< emit State, flush, exit(0)
+};
+
+struct CmdBody {
+  std::uint8_t op = 0;  ///< CmdOp as u8
+  ProcessId target = -1;
+  std::uint64_t param = 0;
+};
+
+struct CmdDoneBody {
+  std::uint8_t op = 0;       ///< echoed CmdOp
+  std::uint64_t cmd_seq = 0; ///< seq of the Cmd frame this completes
+};
+
+/// Final state digest, emitted on kShutdown: enough to assert the replay
+/// node bit-identical (DV, lineage position, counters, stored-index set).
+struct StateBody {
+  CheckpointIndex last_index = 0;
+  std::uint64_t basic = 0;
+  std::uint64_t forced = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t rollbacks = 0;
+  std::vector<IntervalIndex> dv;
+  std::vector<CheckpointIndex> stored;
+};
+
+/// One decoded frame: `header` plus exactly the body matching
+/// header.kind() filled in.  Reused across decodes — the body vectors keep
+/// their capacity, so steady-state decoding performs no heap allocation.
+struct DecodedFrame {
+  FrameHeader header;
+  HelloBody hello;
+  DataBody data;
+  RecvAckBody recv_ack;
+  CheckpointBody checkpoint;
+  CmdBody cmd;
+  CmdDoneBody cmd_done;
+  StateBody state;
+};
+
+// ---- Encode / decode ------------------------------------------------------
+
+using WireBuffer = std::vector<std::uint8_t>;
+
+/// Routing fields shared by every frame.
+struct FrameMeta {
+  ProcessId src = -1;
+  ProcessId dst = -1;
+  std::uint32_t incarnation = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Each encoder clears `out` and writes one complete frame into it (the
+/// buffer's capacity is reused across calls — the send path allocates only
+/// until the high-water frame size is reached).
+void encode_hello(WireBuffer& out, const FrameMeta& meta, const HelloBody& b);
+void encode_data(WireBuffer& out, const FrameMeta& meta, const DataBody& b);
+void encode_recv_ack(WireBuffer& out, const FrameMeta& meta,
+                     const RecvAckBody& b);
+void encode_checkpoint(WireBuffer& out, const FrameMeta& meta,
+                       const CheckpointBody& b);
+void encode_cmd(WireBuffer& out, const FrameMeta& meta, const CmdBody& b);
+void encode_cmd_done(WireBuffer& out, const FrameMeta& meta,
+                     const CmdDoneBody& b);
+void encode_state(WireBuffer& out, const FrameMeta& meta, const StateBody& b);
+
+/// Decode one frame.  On kOk, `out.header` and the body matching its kind
+/// are filled; on any error `out` is unspecified but never touched out of
+/// bounds.  Never throws, never reads past `bytes`.
+WireError decode_frame(std::span<const std::uint8_t> bytes, DecodedFrame& out);
+
+}  // namespace rdtgc::transport

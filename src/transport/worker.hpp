@@ -1,0 +1,63 @@
+// Worker-process main loop: one ckpt::Node behind a UdsTransport.
+//
+// A worker is one process of the distributed system, spawned by
+// transport::ProcFleet (the tools/rdtgc_proc.cpp binary is a thin argv
+// wrapper around run_worker).  It connects to the parent's socket, builds
+// the full per-process stack — Simulator (a logical clock the algorithms
+// never read), CcpRecorder (worker-local, observer-grade), UdsTransport,
+// Node over a persistent kSync store — and then serves frames:
+//
+//   * kCmd kSendApp     -> Node::send_app_message (Data frame rides out
+//                          through the transport's send buffer), CmdDone
+//   * kCmd kCheckpoint  -> Node::take_basic_checkpoint, Checkpoint frame,
+//                          CmdDone
+//   * kData             -> register the remote send with the local recorder
+//                          (new_message_id + record_send), deliver through
+//                          the transport sink, then RecvAck carrying the
+//                          post-merge DV and the forced-checkpoint flag
+//   * kCmd kQuiesce     -> flush everything, CmdDone (the parent's pre-
+//                          SIGKILL drain point)
+//   * kCmd kShutdown    -> State digest, flush, exit 0
+//
+// Incarnation 0 opens its store kFresh; incarnation > 0 opens kAttach and
+// re-seeds its empty recorder from the media (ckpt::Node's fresh-process
+// attach path) — this is the real kill -9 recovery the simulator's warm
+// restart models.  A worker that hears nothing for idle_timeout_ms exits
+// nonzero rather than orphan itself (CI hang guard).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "causality/types.hpp"
+#include "ckpt/protocol.hpp"
+#include "ckpt/storage_backend.hpp"
+
+namespace rdtgc::transport {
+
+struct WorkerConfig {
+  std::string socket_path;
+  ProcessId self = -1;
+  std::size_t process_count = 0;
+  std::uint32_t incarnation = 0;
+  ckpt::ProtocolKind protocol = ckpt::ProtocolKind::kFdas;
+  ckpt::StorageBackendKind backend = ckpt::StorageBackendKind::kMmapFile;
+  std::string storage_dir;
+  std::uint64_t checkpoint_bytes = 1;
+  int idle_timeout_ms = 30000;
+};
+
+/// Exit codes of a worker process (the fleet reports them on failure).
+enum WorkerExit : int {
+  kWorkerOk = 0,
+  kWorkerConnectFailed = 2,
+  kWorkerIdleTimeout = 3,
+  kWorkerParentGone = 4,
+  kWorkerBadFrame = 5,
+  kWorkerSendFailed = 6,
+};
+
+/// Run the worker loop to completion; returns a WorkerExit code.
+int run_worker(const WorkerConfig& config);
+
+}  // namespace rdtgc::transport

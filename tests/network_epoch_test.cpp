@@ -1,0 +1,211 @@
+// Regression tests for sim::Network's per-process delivery epochs
+// (ISSUE satellite: pin the pre-restart-epoch delivery assumption).
+//
+// The socket transport's replay certification leans on one property of the
+// reference network: a message in flight to (or from) a process when that
+// process disconnects is LOST, even if the process reconnects — as a new
+// incarnation — before the scheduled delivery surfaces.  If a pre-restart
+// message leaked into the post-restart sink, the replay of a warm restart
+// would deliver state the real re-attached OS process never saw.
+//
+// The property is ordering-critical inside the delivery callback: the
+// epoch staleness checks must run BEFORE the paused-requeue branch, or a
+// dead message could be resurrected into held_ and survive resume().
+// These tests pin every interleaving of {schedule, pause, disconnect,
+// reconnect, surface} the restart machinery produces.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rdtgc::sim {
+namespace {
+
+Network::Config fixed_delay(SimTime delay) {
+  Network::Config config;
+  config.min_delay = delay;
+  config.max_delay = delay;
+  return config;
+}
+
+/// Counting sink bound to one process slot.
+struct Sink {
+  std::vector<MessageId> delivered;
+  DeliveryFn fn() {
+    return [this](const Message& m) { delivered.push_back(m.id); };
+  }
+};
+
+Message to(Network& net, ProcessId src, ProcessId dst) {
+  Message m = net.make_message();
+  m.src = src;
+  m.dst = dst;
+  m.bytes = 1;
+  return m;
+}
+
+TEST(NetworkEpoch, DeliveredWithoutDisconnect) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1;
+  net.connect(0, s0.fn());
+  net.connect(1, s1.fn());
+  const MessageId id = net.send(to(net, 0, 1));
+  simulator.run_until(10);
+  ASSERT_EQ(s1.delivered.size(), 1u);
+  EXPECT_EQ(s1.delivered[0], id);
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(net.stats().dropped_in_flight, 0u);
+}
+
+TEST(NetworkEpoch, ScheduledDeliveryToDisconnectedProcessDrops) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1;
+  net.connect(0, s0.fn());
+  net.connect(1, s1.fn());
+  net.send(to(net, 0, 1));
+  net.disconnect(1);  // before the delivery surfaces
+  simulator.run_until(10);
+  EXPECT_TRUE(s1.delivered.empty());
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+  EXPECT_EQ(net.in_flight(), 0u);  // exact accounting after the self-discard
+}
+
+// THE restart case: the message was in flight when p1 died; p1's
+// replacement reconnects before the delivery surfaces.  The stale-epoch
+// delivery must NOT reach the new incarnation, and traffic sent after the
+// reconnect must flow normally.
+TEST(NetworkEpoch, PreRestartMessageNeverReachesReattachedProcess) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1_old, s1_new;
+  net.connect(0, s0.fn());
+  net.connect(1, s1_old.fn());
+  net.send(to(net, 0, 1));
+
+  net.disconnect(1);
+  net.connect(1, s1_new.fn());  // the re-attached incarnation
+  const MessageId fresh = net.send(to(net, 0, 1));
+
+  simulator.run_until(20);
+  EXPECT_TRUE(s1_old.delivered.empty());
+  ASSERT_EQ(s1_new.delivered.size(), 1u);  // only the post-restart message
+  EXPECT_EQ(s1_new.delivered[0], fresh);
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(NetworkEpoch, InFlightMessageFromDisconnectedSourceDrops) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1;
+  net.connect(0, s0.fn());
+  net.connect(1, s1.fn());
+  net.send(to(net, 0, 1));
+  net.disconnect(0);  // the SENDER dies; its in-flight message is lost too
+  net.connect(0, s0.fn());
+  simulator.run_until(10);
+  EXPECT_TRUE(s1.delivered.empty());
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+// Ordering pin: the delivery surfaces while the network is PAUSED and its
+// destination already disconnected.  The stale-epoch check must win over
+// the paused requeue — a requeue would park the dead message in held_ and
+// resurrect it on resume().
+TEST(NetworkEpoch, StaleEpochBeatsPausedRequeue) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1_old, s1_new;
+  net.connect(0, s0.fn());
+  net.connect(1, s1_old.fn());
+  net.send(to(net, 0, 1));
+
+  net.disconnect(1);
+  net.connect(1, s1_new.fn());
+  net.pause();
+  simulator.run_until(10);  // delivery surfaces: stale, and we are paused
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+  net.resume();
+  simulator.run_until(30);
+
+  EXPECT_TRUE(s1_old.delivered.empty());
+  EXPECT_TRUE(s1_new.delivered.empty());
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+// A healthy paused requeue still works: surfaced-while-paused deliveries
+// are rescheduled by resume() and arrive exactly once.
+TEST(NetworkEpoch, PausedRequeueStillDeliversHealthyMessages) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1;
+  net.connect(0, s0.fn());
+  net.connect(1, s1.fn());
+  const MessageId id = net.send(to(net, 0, 1));
+  net.pause();
+  simulator.run_until(10);
+  EXPECT_TRUE(s1.delivered.empty());
+  net.resume();
+  simulator.run_until(30);
+  ASSERT_EQ(s1.delivered.size(), 1u);
+  EXPECT_EQ(s1.delivered[0], id);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+// A message sent WHILE paused to a process that dies during the pause must
+// be purged from held_ by the disconnect, not rescheduled at resume().
+TEST(NetworkEpoch, DisconnectPurgesHeldMessages) {
+  Simulator simulator;
+  Network net(simulator, util::Rng(1), fixed_delay(5));
+  Sink s0, s1_old, s1_new;
+  net.connect(0, s0.fn());
+  net.connect(1, s1_old.fn());
+  net.pause();
+  net.send(to(net, 0, 1));  // goes to held_
+  net.disconnect(1);
+  net.connect(1, s1_new.fn());
+  net.resume();
+  simulator.run_until(30);
+  EXPECT_TRUE(s1_old.delivered.empty());
+  EXPECT_TRUE(s1_new.delivered.empty());
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+// Manual mode (the replay oracle's mode): disconnect purges parked
+// messages touching the process, and a deliver_now of a purged id is a
+// contract violation — exactly the replay's "deliver after drop" refusal.
+TEST(NetworkEpoch, ManualModeDisconnectPurgesParkedMessages) {
+  Simulator simulator;
+  Network::Config config = fixed_delay(1);
+  config.manual = true;
+  Network net(simulator, util::Rng(1), config);
+  Sink s0, s1, s2;
+  net.connect(0, s0.fn());
+  net.connect(1, s1.fn());
+  net.connect(2, s2.fn());
+  const MessageId doomed = net.send(to(net, 0, 1));
+  const MessageId safe = net.send(to(net, 0, 2));
+  net.disconnect(1);
+  net.connect(1, s1.fn());
+
+  const std::vector<MessageId> parked = net.parked();
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_EQ(parked[0], safe);
+  EXPECT_THROW(net.deliver_now(doomed), util::ContractViolation);
+  net.deliver_now(safe);
+  ASSERT_EQ(s2.delivered.size(), 1u);
+  EXPECT_TRUE(s1.delivered.empty());
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace rdtgc::sim
