@@ -75,62 +75,83 @@ ckpt::Node& RecoveryManager::node_at(ProcessId p) {
   return provider_ ? provider_(p) : *nodes_[static_cast<std::size_t>(p)];
 }
 
-RecoveryOutcome RecoveryManager::recover(const std::vector<ProcessId>& faulty) {
+RecoveryManager::SessionPlan RecoveryManager::plan(
+    const std::vector<ProcessId>& faulty) const {
   RDTGC_EXPECTS(!faulty.empty());
   const std::size_t n = recorder_.process_count();
-  std::vector<bool> faulty_mask(n, false);
+  SessionPlan plan;
+  plan.faulty_mask.assign(n, false);
   for (const ProcessId f : faulty) {
     RDTGC_EXPECTS(f >= 0 && static_cast<std::size_t>(f) < n);
-    faulty_mask[static_cast<std::size_t>(f)] = true;
+    plan.faulty_mask[static_cast<std::size_t>(f)] = true;
   }
 
-  ++stats_.sessions;
-  // Stop the world; in-transit messages are excluded from the CCP.
-  network_.pause();
-  network_.drop_in_flight();
-
-  RecoveryOutcome outcome;
   if (config_.line_algorithm == LineAlgorithm::kLemma1) {
     const ccp::DvPrecedence causal(recorder_);
-    outcome.line = ccp::recovery_line_lemma1(recorder_, causal, faulty_mask);
+    plan.line = ccp::recovery_line_lemma1(recorder_, causal, plan.faulty_mask);
   } else {
     const ccp::ZigzagAnalysis zigzag(recorder_);
-    outcome.line = zigzag.recovery_line(faulty_mask);
+    plan.line = zigzag.recovery_line(plan.faulty_mask);
   }
 
   // LI[j] = last_s(j) + 1 in the cut defined by R_F: a rolled-back process
   // restores s^{line[j]} (making it the last stable checkpoint); a surviving
   // process keeps its volatile state, so line[j] already equals last_s(j)+1.
-  std::vector<IntervalIndex> li(n);
+  plan.li.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
     const CheckpointIndex last = recorder_.last_stable(static_cast<ProcessId>(j));
-    li[j] = outcome.line[j] <= last ? outcome.line[j] + 1 : outcome.line[j];
-  }
-
-  for (std::size_t p = 0; p < n; ++p) {
-    ckpt::Node& node = node_at(static_cast<ProcessId>(p));
-    const CheckpointIndex last = recorder_.last_stable(static_cast<ProcessId>(p));
-    // Definition 5 metric: general checkpoints rolled back (the volatile
-    // state counts as c^{last+1}).
-    outcome.general_checkpoints_rolled_back +=
-        static_cast<std::uint64_t>((last + 1) - outcome.line[p]);
-    if (outcome.line[p] <= last) {
-      // The line must name a checkpoint that is actually recoverable; the
-      // GC safety results guarantee it was never collected.
-      RDTGC_ASSERT(node.store().contains(outcome.line[p]));
-      const std::uint64_t before = node.store().stats().discarded;
-      node.rollback_to(outcome.line[p],
-                       config_.global_information
-                           ? std::optional<std::vector<IntervalIndex>>(li)
-                           : std::nullopt);
-      outcome.checkpoints_discarded +=
-          node.store().stats().discarded - before;
-      outcome.rolled_back.push_back(static_cast<ProcessId>(p));
-    } else if (config_.global_information) {
-      node.peer_recovery(li);
-    }
+    plan.li[j] = plan.line[j] <= last ? plan.line[j] + 1 : plan.line[j];
     // Faulty processes can never keep their volatile state (Lemma 1).
-    RDTGC_ASSERT(!faulty_mask[p] || outcome.line[p] <= last);
+    RDTGC_ASSERT(!plan.faulty_mask[j] || plan.line[j] <= last);
+  }
+  return plan;
+}
+
+RecoveryManager::ApplyResult RecoveryManager::apply_to(const SessionPlan& plan,
+                                                       ProcessId p) {
+  const auto idx = static_cast<std::size_t>(p);
+  RDTGC_EXPECTS(idx < plan.line.size());
+  ckpt::Node& node = node_at(p);
+  const CheckpointIndex last = recorder_.last_stable(p);
+  ApplyResult result;
+  // Definition 5 metric: general checkpoints rolled back (the volatile
+  // state counts as c^{last+1}).
+  result.general_checkpoints_rolled_back +=
+      static_cast<std::uint64_t>((last + 1) - plan.line[idx]);
+  if (plan.line[idx] <= last) {
+    // The line must name a checkpoint that is actually recoverable; the
+    // GC safety results guarantee it was never collected.
+    RDTGC_ASSERT(node.store().contains(plan.line[idx]));
+    const std::uint64_t before = node.store().stats().discarded;
+    node.rollback_to(plan.line[idx],
+                     config_.global_information
+                         ? std::optional<std::vector<IntervalIndex>>(plan.li)
+                         : std::nullopt);
+    result.checkpoints_discarded += node.store().stats().discarded - before;
+    result.rolled = true;
+  } else if (config_.global_information) {
+    node.peer_recovery(plan.li);
+  }
+  return result;
+}
+
+RecoveryOutcome RecoveryManager::recover(const std::vector<ProcessId>& faulty) {
+  ++stats_.sessions;
+  // Stop the world; in-transit messages are excluded from the CCP.
+  network_.pause();
+  network_.drop_in_flight();
+
+  const SessionPlan session = plan(faulty);
+  const std::size_t n = recorder_.process_count();
+
+  RecoveryOutcome outcome;
+  outcome.line = session.line;
+  for (std::size_t p = 0; p < n; ++p) {
+    const ApplyResult applied = apply_to(session, static_cast<ProcessId>(p));
+    outcome.checkpoints_discarded += applied.checkpoints_discarded;
+    outcome.general_checkpoints_rolled_back +=
+        applied.general_checkpoints_rolled_back;
+    if (applied.rolled) outcome.rolled_back.push_back(static_cast<ProcessId>(p));
   }
 
   stats_.checkpoints_discarded += outcome.checkpoints_discarded;

@@ -89,6 +89,35 @@ class RecoveryManager {
   /// Run a recovery session for the given faulty set, now.
   RecoveryOutcome recover(const std::vector<ProcessId>& faulty);
 
+  /// A computed-but-not-applied session: the Lemma-1 line, its LI vector,
+  /// and the faulty set it was computed for.  `plan()` is pure (reads the
+  /// recorder only); `apply_to()` executes the session at one process.  The
+  /// split exists for the wire-driven sessions: the fleet parent broadcasts
+  /// a plan and applies it per-process as RolledBack acks arrive, and the
+  /// replay oracle mirrors exactly that incremental order — recover() is
+  /// plan() + apply_to(p) for every p under a paused network.
+  struct SessionPlan {
+    std::vector<CheckpointIndex> line;
+    std::vector<IntervalIndex> li;
+    std::vector<bool> faulty_mask;
+  };
+
+  SessionPlan plan(const std::vector<ProcessId>& faulty) const;
+
+  struct ApplyResult {
+    bool rolled = false;  ///< restored a stable checkpoint (vs peer recovery)
+    std::uint64_t checkpoints_discarded = 0;
+    std::uint64_t general_checkpoints_rolled_back = 0;
+  };
+
+  /// Execute the planned session at process p (targeted rollback when the
+  /// line names a stable checkpoint, peer recovery otherwise).  Applying the
+  /// same plan to the same process twice is NOT idempotent at this layer —
+  /// idempotence across session restarts holds because a re-planned session
+  /// computes the same line for an already-rolled-back process, whose branch
+  /// then degenerates to a no-op rollback to its current position.
+  ApplyResult apply_to(const SessionPlan& plan, ProcessId p);
+
   struct Stats {
     std::uint64_t sessions = 0;
     std::uint64_t checkpoints_discarded = 0;

@@ -20,9 +20,11 @@ namespace {
 //   deliver dst=2 dinc=0 src=1 sinc=0 seq=3 ri=5 forced=1 dv=1,4,5,2
 //   ckpt p=0 inc=0 idx=3 kind=1 dv=3,1,0,0
 //   kill p=2
-//   ukill p=2
+//   ukill p=2 at=17
 //   drop src=1 sinc=0 seq=7 dst=2
 //   state p=0 inc=0 last=6 basic=3 forced=2 sent=9 recv=8 rb=0 dv=... stored=0,2,6
+//   rstart session=1 attempt=0 faulty=2 li=0,3,2 line=0,2,2
+//   rback p=1 inc=0 session=1 attempt=0 rolled=1 last=2 dv=1,2,0 stored=0,1,2
 
 template <typename T>
 void join(std::ostringstream& os, const std::vector<T>& v) {
@@ -84,6 +86,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kUncleanKill: return "ukill";
     case EventKind::kDrop:        return "drop";
     case EventKind::kState:       return "state";
+    case EventKind::kRecoveryStart: return "rstart";
+    case EventKind::kRolledBack:    return "rback";
   }
   return "unknown";
 }
@@ -116,8 +120,12 @@ std::string event_to_line(const Event& e) {
       join(os, e.dv);
       break;
     case EventKind::kKill:
-    case EventKind::kUncleanKill:
       os << " p=" << e.p;
+      break;
+    case EventKind::kUncleanKill:
+      // `at` is this event's own index: the first position replay cannot
+      // certify (frames may have died in the victim's buffers unlogged).
+      os << " p=" << e.p << " at=" << e.seq;
       break;
     case EventKind::kDrop:
       os << " src=" << e.src << " sinc=" << e.src_incarnation
@@ -128,6 +136,23 @@ std::string event_to_line(const Event& e) {
          << " basic=" << e.basic << " forced=" << e.forced_count
          << " sent=" << e.sent << " recv=" << e.received
          << " rb=" << e.rollbacks << " dv=";
+      join(os, e.dv);
+      os << " stored=";
+      join(os, e.stored);
+      break;
+    case EventKind::kRecoveryStart:
+      os << " session=" << e.session << " attempt=" << e.attempt
+         << " faulty=";
+      join(os, e.faulty);
+      os << " li=";
+      join(os, e.li);
+      os << " line=";
+      join(os, e.line);
+      break;
+    case EventKind::kRolledBack:
+      os << " p=" << e.p << " inc=" << e.incarnation
+         << " session=" << e.session << " attempt=" << e.attempt
+         << " rolled=" << unsigned{e.forced} << " last=" << e.index << " dv=";
       join(os, e.dv);
       os << " stored=";
       join(os, e.stored);
@@ -179,9 +204,13 @@ bool event_from_line(const std::string& line, Event& out) {
            parse_int(in, "kind", out.ckpt_kind) &&
            parse_vec(in, "dv", out.dv) && done();
   }
-  if (kind == "kill" || kind == "ukill") {
-    out.kind = kind == "kill" ? EventKind::kKill : EventKind::kUncleanKill;
+  if (kind == "kill") {
+    out.kind = EventKind::kKill;
     return parse_int(in, "p", out.p) && done();
+  }
+  if (kind == "ukill") {
+    out.kind = EventKind::kUncleanKill;
+    return parse_int(in, "p", out.p) && parse_int(in, "at", out.seq) && done();
   }
   if (kind == "drop") {
     out.kind = EventKind::kDrop;
@@ -199,6 +228,23 @@ bool event_from_line(const std::string& line, Event& out) {
            parse_int(in, "sent", out.sent) &&
            parse_int(in, "recv", out.received) &&
            parse_int(in, "rb", out.rollbacks) && parse_vec(in, "dv", out.dv) &&
+           parse_vec(in, "stored", out.stored) && done();
+  }
+  if (kind == "rstart") {
+    out.kind = EventKind::kRecoveryStart;
+    return parse_int(in, "session", out.session) &&
+           parse_int(in, "attempt", out.attempt) &&
+           parse_vec(in, "faulty", out.faulty) &&
+           parse_vec(in, "li", out.li) && parse_vec(in, "line", out.line) &&
+           done();
+  }
+  if (kind == "rback") {
+    out.kind = EventKind::kRolledBack;
+    return parse_int(in, "p", out.p) && parse_int(in, "inc", out.incarnation) &&
+           parse_int(in, "session", out.session) &&
+           parse_int(in, "attempt", out.attempt) &&
+           parse_int(in, "rolled", out.forced) &&
+           parse_int(in, "last", out.index) && parse_vec(in, "dv", out.dv) &&
            parse_vec(in, "stored", out.stored) && done();
   }
   return false;

@@ -33,6 +33,8 @@ enum class EventKind : std::uint8_t {
   kUncleanKill, ///< immediate SIGKILL, no drain (liveness runs only)
   kDrop,        ///< parent dropped a message routed to a dead/draining worker
   kState,       ///< final state digest at shutdown
+  kRecoveryStart,  ///< recovery session broadcast: faulty set, line, LI
+  kRolledBack,     ///< one worker acked the session; post-state digest
 };
 
 const char* event_kind_name(EventKind kind);
@@ -57,6 +59,12 @@ struct Event {
                 rollbacks = 0;       ///< state counters
   std::vector<IntervalIndex> dv;     ///< DV payload of the event
   std::vector<CheckpointIndex> stored;  ///< state: stored-index set
+  // Recovery sessions (kRecoveryStart / kRolledBack):
+  std::uint64_t session = 0;         ///< fleet-unique session id
+  std::uint32_t attempt = 0;         ///< restart counter within the session
+  std::vector<ProcessId> faulty;     ///< rstart: accumulated faulty set
+  std::vector<IntervalIndex> li;     ///< rstart: Algorithm-3 LI vector
+  std::vector<IntervalIndex> line;   ///< rstart: Lemma-1 recovery line
 };
 
 std::string event_to_line(const Event& e);

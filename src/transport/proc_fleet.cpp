@@ -35,6 +35,7 @@ ProcFleet::ProcFleet(FleetConfig config) : config_(std::move(config)) {
   RDTGC_EXPECTS(config_.backend != ckpt::StorageBackendKind::kInMemory);
   workers_.resize(config_.process_count);
   out_.resize(config_.process_count);
+  mirror_.resize(config_.process_count);
   socket_path_ = config_.scratch_dir + "/fleet.sock";
   log_path_ = config_.scratch_dir + "/events.log";
 }
@@ -137,6 +138,22 @@ bool ProcFleet::await_hello(ProcessId expected) {
   w.alive = true;
   w.draining = false;
 
+  // Mirror the recovered lineage: checkpoint-DV rows above the recovered
+  // position die with the volatile interval (exactly the recorder's
+  // truncation on restart).  Missing rows are padded from the Hello DV —
+  // only possible after an unclean kill persisted a checkpoint whose frame
+  // never surfaced, and such runs are liveness-only anyway.
+  DvMirror& m = mirror_[static_cast<std::size_t>(p)];
+  const auto rows = static_cast<std::size_t>(frame_.hello.last_index) + 1;
+  while (m.ckpt_dvs.size() < rows) {
+    std::vector<IntervalIndex> row = frame_.hello.dv;
+    row[static_cast<std::size_t>(p)] =
+        static_cast<IntervalIndex>(m.ckpt_dvs.size());
+    m.ckpt_dvs.push_back(std::move(row));
+  }
+  m.ckpt_dvs.resize(rows);
+  m.current = frame_.hello.dv;
+
   Event e;
   e.kind = EventKind::kAttach;
   e.p = p;
@@ -236,8 +253,22 @@ bool ProcFleet::handle_frame(ProcessId p, const DecodedFrame& frame) {
       e.forced = frame.recv_ack.forced;
       e.dv = frame.recv_ack.dv_after;
       log_->append(e);
-      outstanding_.erase(
-          MsgKey{e.src, e.src_incarnation, e.seq});
+      const MsgKey key{e.src, e.src_incarnation, e.seq};
+      if (const auto it = outstanding_.find(key); it != outstanding_.end()) {
+        delivered_.push_back(DeliveredRec{e.src, e.src_incarnation, e.seq,
+                                          it->second.send_interval, p,
+                                          e.interval});
+        outstanding_.erase(it);
+      }
+      DvMirror& m = mirror_[static_cast<std::size_t>(p)];
+      if (frame.recv_ack.forced) {
+        // The forced checkpoint stored the receiver's pre-event DV (the
+        // mirror's current); its index is the pre-event interval.
+        RDTGC_ASSERT(m.ckpt_dvs.size() + 1 ==
+                     static_cast<std::size_t>(e.interval));
+        m.ckpt_dvs.push_back(m.current);
+      }
+      m.current = frame.recv_ack.dv_after;
       return true;
     }
     case FrameKind::kCheckpoint: {
@@ -248,6 +279,33 @@ bool ProcFleet::handle_frame(ProcessId p, const DecodedFrame& frame) {
       e.index = frame.checkpoint.index;
       e.ckpt_kind = frame.checkpoint.kind;
       e.dv = frame.checkpoint.dv;
+      log_->append(e);
+      DvMirror& m = mirror_[static_cast<std::size_t>(p)];
+      RDTGC_ASSERT(m.ckpt_dvs.size() ==
+                   static_cast<std::size_t>(frame.checkpoint.index));
+      m.ckpt_dvs.push_back(frame.checkpoint.dv);
+      m.current = frame.checkpoint.dv;
+      m.current[static_cast<std::size_t>(p)] += 1;
+      return true;
+    }
+    case FrameKind::kRolledBack: {
+      Worker& w = workers_[static_cast<std::size_t>(p)];
+      w.acked_session = frame.rolled_back.session;
+      w.acked_attempt = frame.rolled_back.attempt;
+      DvMirror& m = mirror_[static_cast<std::size_t>(p)];
+      m.ckpt_dvs.resize(
+          static_cast<std::size_t>(frame.rolled_back.last_index) + 1);
+      m.current = frame.rolled_back.dv;
+      Event e;
+      e.kind = EventKind::kRolledBack;
+      e.p = p;
+      e.incarnation = frame.header.incarnation;
+      e.session = frame.rolled_back.session;
+      e.attempt = frame.rolled_back.attempt;
+      e.forced = frame.rolled_back.rolled;
+      e.index = frame.rolled_back.last_index;
+      e.dv = frame.rolled_back.dv;
+      e.stored = frame.rolled_back.stored;
       log_->append(e);
       return true;
     }
@@ -318,7 +376,8 @@ void ProcFleet::route_data(const DecodedFrame& frame) {
   meta.seq = e.seq;
   encode_data(scratch_, meta, frame.data);
   out_[static_cast<std::size_t>(dst)].push_back(scratch_);
-  outstanding_[MsgKey{e.src, e.src_incarnation, e.seq}] = dst;
+  outstanding_[MsgKey{e.src, e.src_incarnation, e.seq}] =
+      InFlight{dst, frame.data.send_interval};
 }
 
 bool ProcFleet::send_cmd(ProcessId p, CmdOp op, ProcessId target,
@@ -359,15 +418,15 @@ bool ProcFleet::basic_checkpoint(ProcessId p) {
 }
 
 bool ProcFleet::outstanding_from(ProcessId p) const {
-  for (const auto& [key, dst] : outstanding_) {
-    if (key.src == p || dst == p) return true;
+  for (const auto& [key, inflight] : outstanding_) {
+    if (key.src == p || inflight.dst == p) return true;
   }
   return false;
 }
 
 void ProcFleet::drop_outstanding_to(ProcessId dead) {
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    if (it->second == dead) {
+    if (it->second.dst == dead) {
       Event d;
       d.kind = EventKind::kDrop;
       d.src = it->first.src;
@@ -394,7 +453,7 @@ void ProcFleet::kill_process(Worker& w) {
   w.alive = false;
 }
 
-bool ProcFleet::kill_and_restart(ProcessId p) {
+bool ProcFleet::quiesced_kill_respawn(ProcessId p) {
   RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
   Worker& w = workers_[static_cast<std::size_t>(p)];
   if (!w.alive) return fail("kill of a dead worker");
@@ -425,6 +484,187 @@ bool ProcFleet::kill_and_restart(ProcessId p) {
   return await_hello(p);
 }
 
+bool ProcFleet::kill_and_restart(ProcessId p) {
+  RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
+  const std::uint32_t killed_inc =
+      workers_[static_cast<std::size_t>(p)].incarnation;
+  if (!quiesced_kill_respawn(p)) return false;
+  const CheckpointIndex last = mirror_[static_cast<std::size_t>(p)].last();
+  // The orphan condition: a delivered message whose send died with p's
+  // volatile interval.  The re-attached p resumes BEHIND a receive someone
+  // else already performed — a state no oracle can certify and the paper's
+  // recovery session exists to repair.  A clean kill (p checkpointed after
+  // its last send, or the delivery never landed) needs no session.
+  std::uint64_t orphans = 0;
+  for (const DeliveredRec& r : delivered_) {
+    if (r.src == p && r.src_incarnation == killed_inc &&
+        r.send_interval > last) {
+      ++orphans;
+    }
+  }
+  if (orphans == 0) {
+    prune_delivered_after_attach(p, last);
+    return true;
+  }
+  orphans_repaired_ += orphans;
+  return run_recovery_session({p});
+}
+
+void ProcFleet::prune_delivered_after_attach(ProcessId p,
+                                             CheckpointIndex last) {
+  // Receives of p's volatile interval died with it; sends above the
+  // recovered position are dead too (either just repaired by a session, or
+  // from an earlier incarnation whose kill already handled them — interval
+  // numbers repeat across incarnations, so stale records would read as
+  // phantom orphans at p's next kill).
+  std::erase_if(delivered_, [&](const DeliveredRec& r) {
+    return (r.dst == p && r.recv_interval > last) ||
+           (r.src == p && r.send_interval > last);
+  });
+}
+
+void ProcFleet::compute_plan(const std::vector<bool>& faulty_mask,
+                             std::vector<CheckpointIndex>& line,
+                             std::vector<IntervalIndex>& li) const {
+  // Lemma 1 over the DV mirrors, Eq. 2 directly: c_f^last → c_i^k iff
+  // last_f < DV(c_i^k)[f].  Identical scan order to ccp::recovery_line_
+  // lemma1 — the replay oracle recomputes the line through the recorder and
+  // asserts it equal, so the mirror must track the recorder's rows exactly.
+  const std::size_t n = config_.process_count;
+  line.assign(n, 0);
+  li.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DvMirror& mi = mirror_[i];
+    const CheckpointIndex last_i = mi.last();
+    CheckpointIndex k = last_i + 1;
+    for (; k > 0; --k) {
+      const std::vector<IntervalIndex>& dv =
+          k <= last_i ? mi.ckpt_dvs[static_cast<std::size_t>(k)] : mi.current;
+      bool excluded = false;
+      for (std::size_t f = 0; f < n && !excluded; ++f) {
+        if (!faulty_mask[f]) continue;
+        excluded = mirror_[f].last() < dv[f];
+      }
+      if (!excluded) break;
+    }
+    line[i] = k;
+    // LI[j] = last_s(j)+1 in the cut defined by the line: rolled-back
+    // processes restore s^{line[j]}, survivors keep their volatile state.
+    li[i] = k <= last_i ? k + 1 : k;
+  }
+}
+
+bool ProcFleet::run_recovery_session(std::vector<ProcessId> faulty) {
+  // Compute the line on a quiescent cut: drain every pending delivery
+  // first, so the paper's "drop in-transit messages" step is vacuous and
+  // the replayed session starts from an empty channel state too.
+  if (!pump_until([&] { return outstanding_.empty(); }, "pre-session drain"))
+    return false;
+  const std::uint64_t session = ++next_session_;
+  std::uint32_t attempt = 0;
+  std::vector<bool> faulty_mask(config_.process_count, false);
+  std::vector<CheckpointIndex> line;
+  std::vector<IntervalIndex> li;
+  for (;;) {
+    for (const ProcessId f : faulty)
+      faulty_mask[static_cast<std::size_t>(f)] = true;
+    compute_plan(faulty_mask, line, li);
+
+    Event e;
+    e.kind = EventKind::kRecoveryStart;
+    e.session = session;
+    e.attempt = attempt;
+    e.faulty = faulty;
+    e.li = li;
+    e.line = line;
+    log_->append(e);
+
+    // Test hook: withhold the broadcast from one worker, then kill it
+    // mid-session (below) — the restart-during-session path.
+    ProcessId withheld = -1;
+    if (config_.recovery_withhold_then_kill >= 0) {
+      withheld = config_.recovery_withhold_then_kill;
+      config_.recovery_withhold_then_kill = -1;
+      RDTGC_EXPECTS(static_cast<std::size_t>(withheld) < workers_.size());
+    }
+
+    RecoveryStartBody body;
+    body.session = session;
+    body.attempt = attempt;
+    body.li = li;
+    body.line = line;
+    const auto broadcast = [&](bool only_missing) {
+      for (std::size_t q = 0; q < workers_.size(); ++q) {
+        Worker& w = workers_[q];
+        if (!w.alive || static_cast<ProcessId>(q) == withheld) continue;
+        if (only_missing && w.acked_session == session &&
+            w.acked_attempt >= attempt) {
+          continue;
+        }
+        FrameMeta meta;
+        meta.src = -1;
+        meta.dst = static_cast<ProcessId>(q);
+        meta.incarnation = w.incarnation;
+        meta.seq = ++w.next_cmd_seq;
+        encode_recovery_start(scratch_, meta, body);
+        out_[q].push_back(scratch_);
+      }
+    };
+    const auto acked = [&] {
+      for (std::size_t q = 0; q < workers_.size(); ++q) {
+        const Worker& w = workers_[q];
+        if (!w.alive || static_cast<ProcessId>(q) == withheld) continue;
+        if (w.acked_session != session || w.acked_attempt < attempt)
+          return false;
+      }
+      return true;
+    };
+
+    // Barrier with deadline-bounded retry: each try gets a full step
+    // deadline; a try that times out re-broadcasts to exactly the workers
+    // whose ack is missing (re-applying a session frame is idempotent —
+    // the rollback restores the position the worker already holds).
+    broadcast(/*only_missing=*/false);
+    int tries = 1;
+    for (;;) {
+      const auto deadline =
+          Clock::now() + std::chrono::milliseconds(config_.step_timeout_ms);
+      while (!acked()) {
+        if (!error_.empty()) return false;
+        const int left = ms_left(deadline);
+        if (left == 0) break;
+        if (!pump(std::min(left, 50))) return false;
+      }
+      if (acked()) break;
+      if (tries >= config_.recovery_retries)
+        return fail("recovery-session barrier: missing RolledBack acks");
+      ++tries;
+      broadcast(/*only_missing=*/true);
+    }
+
+    if (withheld < 0) break;
+    // The second SIGKILL lands mid-session: the withheld worker never saw
+    // the broadcast.  Quiesce-kill it (it is idle — the pre-session drain
+    // emptied the channels), fold it into the faulty set, and restart the
+    // session.  Everyone who already applied this attempt re-applies the
+    // next one against the recomputed line.
+    ++recovery_restarts_;
+    if (!quiesced_kill_respawn(withheld)) return false;
+    if (std::find(faulty.begin(), faulty.end(), withheld) == faulty.end())
+      faulty.push_back(withheld);
+    ++attempt;
+  }
+  ++recovery_sessions_;
+  // Drop delivered pairs with an endpoint behind the final line: the acked
+  // rollbacks undid those sends and receives together (the line is
+  // consistent, so a dead send's receive is dead too).
+  std::erase_if(delivered_, [&](const DeliveredRec& r) {
+    return r.send_interval > line[static_cast<std::size_t>(r.src)] ||
+           r.recv_interval > line[static_cast<std::size_t>(r.dst)];
+  });
+  return true;
+}
+
 bool ProcFleet::kill_unclean(ProcessId p) {
   RDTGC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < workers_.size());
   Worker& w = workers_[static_cast<std::size_t>(p)];
@@ -432,6 +672,10 @@ bool ProcFleet::kill_unclean(ProcessId p) {
   Event e;
   e.kind = EventKind::kUncleanKill;
   e.p = p;
+  // Tag the log with the first uncertifiable position: frames may die in
+  // p's kernel buffers unlogged, so nothing at or after this index can be
+  // certified — replay certifies the prefix and stops exactly here.
+  e.seq = log_->events_written();
   log_->append(e);
   w.draining = true;  // silence "died unexpectedly" while we tear it down
   kill_process(w);
@@ -445,7 +689,12 @@ bool ProcFleet::restart(ProcessId p) {
   Worker& w = workers_[static_cast<std::size_t>(p)];
   if (w.alive) return fail("restart of a live worker");
   if (!spawn(p, w.incarnation + 1)) return false;
-  return await_hello(p);
+  if (!await_hello(p)) return false;
+  // Unclean victims get no session (the run is liveness-only, not replay-
+  // certified); still drop delivered pairs the death invalidated so a later
+  // clean kill does not see phantom orphans from an earlier incarnation.
+  prune_delivered_after_attach(p, mirror_[static_cast<std::size_t>(p)].last());
+  return true;
 }
 
 bool ProcFleet::shutdown() {

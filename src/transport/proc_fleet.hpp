@@ -62,6 +62,14 @@ struct FleetConfig {
   int step_timeout_ms = 30000;
   /// Worker-side idle suicide timeout (must exceed step_timeout_ms).
   int worker_idle_timeout_ms = 60000;
+  /// Re-broadcast attempts of one recovery barrier before failing the run.
+  int recovery_retries = 3;
+  /// Test hook for the restart-during-session path: the next recovery
+  /// session withholds its RecoveryStart frame from this process, collects
+  /// every other ack, then quiesce-kills it mid-session — the session must
+  /// restart with the accumulated faulty set and converge.  Consumed by the
+  /// first session that fires.  -1 = disabled.
+  ProcessId recovery_withhold_then_kill = -1;
 };
 
 class ProcFleet {
@@ -111,6 +119,14 @@ class ProcFleet {
   /// Messages the parent dropped because their destination was dead.
   std::uint64_t dropped() const { return dropped_; }
   std::uint32_t incarnation(ProcessId p) const;
+  /// Recovery sessions completed (kill_and_restart found orphaned
+  /// deliveries and drove the paper's session over the wire).
+  std::uint64_t recovery_sessions() const { return recovery_sessions_; }
+  /// Session restarts (a second kill landed mid-session).
+  std::uint64_t recovery_restarts() const { return recovery_restarts_; }
+  /// Delivered messages whose send died with a killed worker's volatile
+  /// interval — the orphan condition each session exists to repair.
+  std::uint64_t orphans_repaired() const { return orphans_repaired_; }
 
  private:
   struct Worker {
@@ -123,6 +139,8 @@ class ProcFleet {
     std::uint64_t last_done_seq = 0;  ///< highest CmdDone.cmd_seq received
     bool state_received = false;
     StateBody state;
+    std::uint64_t acked_session = 0;   ///< last recovery session acked
+    std::uint32_t acked_attempt = 0;   ///< attempt of that ack
   };
 
   /// Identity of an in-flight application message.
@@ -131,6 +149,39 @@ class ProcFleet {
     std::uint32_t incarnation;
     std::uint64_t seq;
     auto operator<=>(const MsgKey&) const = default;
+  };
+
+  /// Routing state of an in-flight message (value of outstanding_).
+  struct InFlight {
+    ProcessId dst = -1;
+    IntervalIndex send_interval = 0;
+  };
+
+  /// A delivery that completed: the send/receive pair the CCP now contains.
+  /// Kept until one endpoint dies (rollback or process death) so the orphan
+  /// condition — a live receive of a dead send — is detectable after every
+  /// kill.
+  struct DeliveredRec {
+    ProcessId src = -1;
+    std::uint32_t src_incarnation = 0;
+    std::uint64_t seq = 0;
+    IntervalIndex send_interval = 0;
+    ProcessId dst = -1;
+    IntervalIndex recv_interval = 0;
+  };
+
+  /// Parent-side mirror of one worker's dependency-vector history: one row
+  /// per stable checkpoint (dense by index, rows above the lineage position
+  /// truncated at re-attach/rollback — exactly the recorder's row set) plus
+  /// the current volatile DV.  The mirror is what lets the parent compute
+  /// the Lemma-1 recovery line without a recorder: every update rides on a
+  /// frame it routes anyway.
+  struct DvMirror {
+    std::vector<std::vector<IntervalIndex>> ckpt_dvs;
+    std::vector<IntervalIndex> current;
+    CheckpointIndex last() const {
+      return static_cast<CheckpointIndex>(ckpt_dvs.size()) - 1;
+    }
   };
 
   bool fail(const std::string& what);
@@ -151,6 +202,24 @@ class ProcFleet {
   void kill_process(Worker& w);
   bool outstanding_from(ProcessId p) const;
 
+  /// Quiesced SIGKILL + respawn + Hello, no session logic (the body the old
+  /// kill_and_restart had; kill_and_restart layers orphan handling on top).
+  bool quiesced_kill_respawn(ProcessId p);
+  /// Lemma 1 over the DV mirrors (Eq. 2 directly): per process the latest
+  /// general checkpoint (volatile included) not causally preceded by any
+  /// faulty process's last stable checkpoint; li[j] = line[j]+1 where j
+  /// rolls back a stable checkpoint, line[j] otherwise.
+  void compute_plan(const std::vector<bool>& faulty_mask,
+                    std::vector<CheckpointIndex>& line,
+                    std::vector<IntervalIndex>& li) const;
+  /// Run the paper's recovery session over the wire: drain, plan, log,
+  /// broadcast, barrier on acks (deadline-bounded re-broadcast), restarting
+  /// with an accumulated faulty set when a kill lands mid-session.
+  bool run_recovery_session(std::vector<ProcessId> faulty);
+  /// Drop delivered-pair records with a dead endpoint after p re-attached
+  /// at `last` without a session (clean kill / unclean restart).
+  void prune_delivered_after_attach(ProcessId p, CheckpointIndex last);
+
   FleetConfig config_;
   std::string socket_path_;
   std::string log_path_;
@@ -158,13 +227,21 @@ class ProcFleet {
   std::vector<Worker> workers_;
   /// Per-worker parent->worker frame queues (drained non-blocking).
   std::vector<std::deque<WireBuffer>> out_;
-  /// In-flight application messages: key -> destination.
-  std::map<MsgKey, ProcessId> outstanding_;
+  /// In-flight application messages: key -> routing state.
+  std::map<MsgKey, InFlight> outstanding_;
+  /// Completed deliveries with both endpoints still live.
+  std::vector<DeliveredRec> delivered_;
+  /// Per-worker DV history mirror (indexed by process id).
+  std::vector<DvMirror> mirror_;
   std::unique_ptr<EventLogWriter> log_;
   WireBuffer in_;
   WireBuffer scratch_;
   DecodedFrame frame_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t recovery_sessions_ = 0;
+  std::uint64_t recovery_restarts_ = 0;
+  std::uint64_t orphans_repaired_ = 0;
+  std::uint64_t next_session_ = 0;
   std::string error_;
   bool started_ = false;
 };

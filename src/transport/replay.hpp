@@ -13,9 +13,16 @@
 //
 // This works because the protocol is deterministic in its delivered-event
 // order and the parent's log is a valid linearization of the socket run
-// (see transport/event_log.hpp).  A log containing kUncleanKill is rejected:
-// an undrained SIGKILL may have lost frames in kernel buffers, so such runs
-// are liveness tests only.
+// (see transport/event_log.hpp).  Recovery sessions replay too: a
+// kRecoveryStart recomputes the Lemma-1 line and LI vector through the
+// simulator's RecoveryManager and asserts them equal to what the fleet
+// parent computed from its DV mirrors; each kRolledBack ack applies the
+// planned session to exactly that process and certifies the post-rollback
+// digest (last index, DV, stored-index set) — so partially-acked sessions
+// interrupted by a second kill replay naturally, ack by ack.  A log
+// containing kUncleanKill certifies the clean prefix only: an undrained
+// SIGKILL may have lost frames in kernel buffers, so replay stops at the
+// tagged position and reports it (stopped_at / stop_reason).
 //
 // On success the result keeps the replay System alive so callers can run
 // the full oracle arsenal against it: CcpRecorder analyses (Theorem 1 /
@@ -25,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +60,13 @@ struct ReplayResult {
   /// First divergence, as "event <n> (<line>): <what>"; empty when ok.
   std::string error;
   std::size_t events_replayed = 0;
+  /// Set when the log contains an unclean kill: the index of the first
+  /// event that cannot be certified.  The prefix before it WAS certified
+  /// (ok = true, events_replayed = *stopped_at); everything at or after it
+  /// is unverifiable, not wrong.
+  std::optional<std::size_t> stopped_at;
+  /// Human-readable reason certification stopped (names the unclean kill).
+  std::string stop_reason;
   /// The replayed system, for post-hoc oracle analyses.  Null on a config/
   /// IO failure before the system was built.
   std::unique_ptr<harness::System> system;

@@ -194,6 +194,28 @@ void encode_cmd_done(WireBuffer& out, const FrameMeta& meta,
   seal_frame(out);
 }
 
+void encode_recovery_start(WireBuffer& out, const FrameMeta& meta,
+                           const RecoveryStartBody& b) {
+  open_frame(out, FrameKind::kRecoveryStart, meta);
+  put_u64(out, b.session);
+  put_u32(out, b.attempt);
+  put_ivec(out, b.li);
+  put_ivec(out, b.line);
+  seal_frame(out);
+}
+
+void encode_rolled_back(WireBuffer& out, const FrameMeta& meta,
+                        const RolledBackBody& b) {
+  open_frame(out, FrameKind::kRolledBack, meta);
+  put_u64(out, b.session);
+  put_u32(out, b.attempt);
+  put_u8(out, b.rolled);
+  put_i32(out, b.last_index);
+  put_ivec(out, b.dv);
+  put_ivec(out, b.stored);
+  seal_frame(out);
+}
+
 void encode_state(WireBuffer& out, const FrameMeta& meta, const StateBody& b) {
   open_frame(out, FrameKind::kState, meta);
   put_i32(out, b.last_index);
@@ -225,7 +247,8 @@ WireError decode_frame(std::span<const std::uint8_t> bytes,
   r.get_u64(out.header.seq);
 
   if (magic != kWireMagic) return WireError::kBadMagic;
-  if (version != kWireVersion) return WireError::kBadVersion;
+  if (version < kWireMinVersion || version > kWireVersion)
+    return WireError::kBadVersion;
   if (length != bytes.size()) return WireError::kBadLength;
 
   WireError err = WireError::kOk;
@@ -271,6 +294,24 @@ WireError decode_frame(std::span<const std::uint8_t> bytes,
       if (!r.get_u64(out.state.rollbacks)) return WireError::kTruncated;
       err = r.get_ivec(out.state.dv);
       if (err == WireError::kOk) err = r.get_ivec(out.state.stored);
+      break;
+    case FrameKind::kRecoveryStart:
+      if (version < min_version_for_kind(FrameKind::kRecoveryStart))
+        return WireError::kBadKind;
+      if (!r.get_u64(out.recovery_start.session)) return WireError::kTruncated;
+      if (!r.get_u32(out.recovery_start.attempt)) return WireError::kTruncated;
+      err = r.get_ivec(out.recovery_start.li);
+      if (err == WireError::kOk) err = r.get_ivec(out.recovery_start.line);
+      break;
+    case FrameKind::kRolledBack:
+      if (version < min_version_for_kind(FrameKind::kRolledBack))
+        return WireError::kBadKind;
+      if (!r.get_u64(out.rolled_back.session)) return WireError::kTruncated;
+      if (!r.get_u32(out.rolled_back.attempt)) return WireError::kTruncated;
+      if (!r.get_u8(out.rolled_back.rolled)) return WireError::kTruncated;
+      if (!r.get_i32(out.rolled_back.last_index)) return WireError::kTruncated;
+      err = r.get_ivec(out.rolled_back.dv);
+      if (err == WireError::kOk) err = r.get_ivec(out.rolled_back.stored);
       break;
     default:
       return WireError::kBadKind;

@@ -35,7 +35,13 @@
 namespace rdtgc::transport {
 
 inline constexpr std::uint32_t kWireMagic = 0x52445447;  // "RDTG"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// Current version, written by every encoder.  v2 added the recovery-session
+/// frames (kRecoveryStart / kRolledBack); the header layout is unchanged.
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Oldest version the decoder still accepts.  v1 peers can speak every kind
+/// up to kState; the recovery kinds require v2 (a v1 frame claiming kind 8+
+/// is kBadKind, not UB).
+inline constexpr std::uint16_t kWireMinVersion = 1;
 inline constexpr std::size_t kWireHeaderBytes = 32;
 /// Upper bound on one frame; a 4096-process State frame fits comfortably.
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
@@ -50,7 +56,16 @@ enum class FrameKind : std::uint16_t {
   kCmd = 5,         ///< parent -> worker: workload command
   kCmdDone = 6,     ///< worker -> parent: command completed
   kState = 7,       ///< worker -> parent: final state digest (at shutdown)
+  // ---- v2 ----
+  kRecoveryStart = 8,  ///< parent -> worker: recovery session (line + LI)
+  kRolledBack = 9,     ///< worker -> parent: session ack + post-state digest
 };
+
+/// First kind that requires `version` on the given wire version.  Kinds up
+/// to kState decode on every accepted version; the recovery kinds need v2.
+inline constexpr std::uint16_t min_version_for_kind(FrameKind k) {
+  return static_cast<std::uint16_t>(k) >= 8 ? 2 : 1;
+}
 
 enum class WireError : std::uint8_t {
   kOk = 0,
@@ -146,6 +161,33 @@ struct StateBody {
   std::vector<CheckpointIndex> stored;
 };
 
+/// Recovery session start (parent -> every live worker).  `line` is the
+/// Lemma-1 recovery line over all processes and `li` the Algorithm-3 LI
+/// vector derived from it (LI[j] = line[j]+1 when j rolls back a stable
+/// checkpoint, line[j] otherwise).  The receiver picks line[self]: if it is
+/// <= its last stored index it rolls back to that checkpoint, otherwise it
+/// keeps its volatile state and runs peer recovery.  Re-sending the same
+/// session (same or later attempt) is idempotent.
+struct RecoveryStartBody {
+  std::uint64_t session = 0;   ///< fleet-unique session id
+  std::uint32_t attempt = 0;   ///< restart counter within the session
+  std::vector<IntervalIndex> li;
+  std::vector<IntervalIndex> line;
+};
+
+/// Session ack (worker -> parent): the worker applied the session frame.
+/// `rolled` is 1 iff it executed a targeted rollback (vs. peer recovery);
+/// the digest fields let the parent log and the replay oracle certify the
+/// post-session state bit-exactly.
+struct RolledBackBody {
+  std::uint64_t session = 0;
+  std::uint32_t attempt = 0;
+  std::uint8_t rolled = 0;
+  CheckpointIndex last_index = 0;
+  std::vector<IntervalIndex> dv;
+  std::vector<CheckpointIndex> stored;
+};
+
 /// One decoded frame: `header` plus exactly the body matching
 /// header.kind() filled in.  Reused across decodes — the body vectors keep
 /// their capacity, so steady-state decoding performs no heap allocation.
@@ -158,6 +200,8 @@ struct DecodedFrame {
   CmdBody cmd;
   CmdDoneBody cmd_done;
   StateBody state;
+  RecoveryStartBody recovery_start;
+  RolledBackBody rolled_back;
 };
 
 // ---- Encode / decode ------------------------------------------------------
@@ -185,6 +229,10 @@ void encode_cmd(WireBuffer& out, const FrameMeta& meta, const CmdBody& b);
 void encode_cmd_done(WireBuffer& out, const FrameMeta& meta,
                      const CmdDoneBody& b);
 void encode_state(WireBuffer& out, const FrameMeta& meta, const StateBody& b);
+void encode_recovery_start(WireBuffer& out, const FrameMeta& meta,
+                           const RecoveryStartBody& b);
+void encode_rolled_back(WireBuffer& out, const FrameMeta& meta,
+                        const RolledBackBody& b);
 
 /// Decode one frame.  On kOk, `out.header` and the body matching its kind
 /// are filled; on any error `out` is unspecified but never touched out of

@@ -62,8 +62,11 @@ class Worker {
         case FrameKind::kCmd:
           exit_code = handle_cmd(frame);
           break;
+        case FrameKind::kRecoveryStart:
+          exit_code = handle_recovery(frame);
+          break;
         default:
-          exit_code = kWorkerBadFrame;  // workers only receive Data and Cmd
+          exit_code = kWorkerBadFrame;  // Data, Cmd, RecoveryStart only
       }
       if (exit_code >= 0) return exit_code;
     }
@@ -124,6 +127,44 @@ class Worker {
                         node_->dv().entries().end());
     encode_recv_ack(scratch_, meta_to_parent(), ack);
     transport_.enqueue_frame(scratch_);
+    return -1;
+  }
+
+  /// Recovery session (Algorithm 3 driven over the wire).  line[self]
+  /// decides the branch: at or below our last stable checkpoint we restore
+  /// it (targeted rollback, volatile state and post-line checkpoints
+  /// discarded); above it we keep the volatile state and run peer recovery
+  /// with the LI vector.  A re-broadcast session (restart after a second
+  /// kill) repeats the same branch against the already-rolled-back state —
+  /// the rollback degenerates to restoring the position we already hold, so
+  /// the handler is safely re-entrant.
+  int handle_recovery(const DecodedFrame& frame) {
+    const RecoveryStartBody& body = frame.recovery_start;
+    if (body.li.size() != config_.process_count ||
+        body.line.size() != config_.process_count) {
+      return kWorkerBadFrame;
+    }
+    const CheckpointIndex target = body.line[static_cast<std::size_t>(config_.self)];
+    bool rolled = false;
+    if (target <= node_->last_checkpoint_index()) {
+      if (!node_->store().contains(target)) return kWorkerBadFrame;
+      node_->rollback_to(target,
+                         std::optional<std::vector<IntervalIndex>>(body.li));
+      rolled = true;
+    } else {
+      node_->peer_recovery(body.li);
+    }
+    RolledBackBody ack;
+    ack.session = body.session;
+    ack.attempt = body.attempt;
+    ack.rolled = rolled;
+    ack.last_index = node_->last_checkpoint_index();
+    ack.dv.assign(node_->dv().entries().begin(), node_->dv().entries().end());
+    ack.stored = node_->store().stored_indices();
+    encode_rolled_back(scratch_, meta_to_parent(), ack);
+    transport_.enqueue_frame(scratch_);
+    if (!transport_.flush_blocking(config_.idle_timeout_ms))
+      return kWorkerSendFailed;
     return -1;
   }
 

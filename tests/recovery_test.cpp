@@ -199,6 +199,147 @@ TEST(Recovery, PeerRecoveryReleasesStalePins) {
   test::audit_safety_theorem1(system);
 }
 
+// ---- Session plan/apply split (the wire-driven session's building blocks) -
+
+// Property (seed-swept): after a session with global information, every
+// surviving process's UC table matches an Algorithm-3/§4.3 rebuild oracle
+// computed from its pre-session state — UC[f] is released exactly where
+// DV[f] < LI[f], and untouched everywhere else.
+TEST(Recovery, PeerRecoveryReleasesMatchAlgorithm3Oracle) {
+  for (const std::uint64_t seed : {3u, 9u, 21u, 33u, 57u, 71u}) {
+    const std::size_t n = 4;
+    Rig rig = make_rig(seed, n, /*global_info=*/true);
+    rig.driver->start(3000);
+    rig.system->simulator().run_until(1400);
+    const auto faulty = static_cast<ProcessId>(seed % n);
+
+    // Pre-session snapshot: every process's DV and UC table.
+    std::vector<std::vector<IntervalIndex>> dv_before(n);
+    std::vector<std::vector<std::optional<CheckpointIndex>>> uc_before(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto pid = static_cast<ProcessId>(p);
+      const auto entries = rig.system->node(pid).dv().entries();
+      dv_before[p].assign(entries.begin(), entries.end());
+      uc_before[p].resize(n);
+      for (std::size_t f = 0; f < n; ++f)
+        uc_before[p][f] =
+            rig.system->rdt_lgc(pid).uc().entry(static_cast<ProcessId>(f));
+    }
+
+    // plan() is pure, so the plan captured here is the session recover()
+    // runs — the same split the fleet parent and the replay oracle use.
+    const auto plan = rig.manager->plan({faulty});
+    const auto outcome = rig.manager->recover({faulty});
+    ASSERT_EQ(outcome.line, plan.line) << "seed " << seed;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto pid = static_cast<ProcessId>(p);
+      const bool rolled =
+          std::find(outcome.rolled_back.begin(), outcome.rolled_back.end(),
+                    pid) != outcome.rolled_back.end();
+      if (rolled) continue;  // rolled-back processes rebuild UC from scratch
+      for (std::size_t f = 0; f < n; ++f) {
+        if (f == p) continue;  // UC[self] always pins the last checkpoint
+        const auto fid = static_cast<ProcessId>(f);
+        const bool release = dv_before[p][f] < plan.li[f];
+        const auto got = rig.system->rdt_lgc(pid).uc().entry(fid);
+        if (release) {
+          EXPECT_FALSE(got.has_value())
+              << "seed " << seed << ": p" << p << " kept UC[" << f
+              << "] though DV=" << dv_before[p][f] << " < LI=" << plan.li[f];
+        } else {
+          EXPECT_EQ(got, uc_before[p][f])
+              << "seed " << seed << ": p" << p << " changed UC[" << f
+              << "] though DV=" << dv_before[p][f] << " >= LI=" << plan.li[f];
+        }
+      }
+    }
+    rig.system->simulator().run();
+    audit_sandwich(*rig.system);
+  }
+}
+
+// The fleet's restart-during-session path, replayed in the simulator: a
+// session's plan is applied to only SOME processes (the acks that landed
+// before the second kill), then a new session with the accumulated faulty
+// set plans against the partially-applied state and applies everywhere —
+// and the system converges to a consistent, orphan-free line.
+TEST(Recovery, SessionRestartAfterPartialApplicationConverges) {
+  Rig rig = make_rig(31, 4, /*global_info=*/true);
+  rig.driver->start(3000);
+  rig.system->simulator().run_until(1500);
+
+  // Attempt 0: plan for {1}, but only processes 0 and 1 get to apply it
+  // before the "second kill" interrupts the session.
+  const auto plan0 = rig.manager->plan({1});
+  rig.manager->apply_to(plan0, 0);
+  rig.manager->apply_to(plan0, 1);
+
+  // Attempt 1: process 2 joins the faulty set; the new plan is computed on
+  // the partially-applied state and the full session runs to completion.
+  const auto plan1 = rig.manager->plan({1, 2});
+  const auto outcome = rig.manager->recover({1, 2});
+  ASSERT_EQ(outcome.line, plan1.line);
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_LE(plan1.line[j], plan0.line[j])
+        << "growing the faulty set must never raise the line";
+
+  // Re-applying the completed session models a duplicate RolledBack cycle
+  // (a barrier re-broadcast): the digest must not move.
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto last = rig.system->node(p).last_checkpoint_index();
+    std::vector<IntervalIndex> dv(rig.system->node(p).dv().entries().begin(),
+                                  rig.system->node(p).dv().entries().end());
+    const auto stored = rig.system->node(p).store().stored_indices();
+    rig.manager->apply_to(plan1, p);
+    EXPECT_EQ(rig.system->node(p).last_checkpoint_index(), last);
+    EXPECT_TRUE(std::equal(dv.begin(), dv.end(),
+                           rig.system->node(p).dv().entries().begin()));
+    EXPECT_EQ(rig.system->node(p).store().stored_indices(), stored);
+  }
+
+  EXPECT_TRUE(rig.system->recorder().audit_no_orphans());
+  rig.system->simulator().run();
+  audit_sandwich(*rig.system);
+  test::audit_rdt(rig.system->recorder());
+  test::audit_eq2(rig.system->recorder());
+}
+
+// recover() and the plan/apply split are the same session: running one or
+// the other from identical states produces identical lines, digests, and
+// stored sets everywhere (the equivalence the replay certification of
+// wire-driven sessions rests on).
+TEST(Recovery, PlanApplySplitEqualsMonolithicRecover) {
+  for (const std::uint64_t seed : {5u, 13u, 29u}) {
+    Rig split = make_rig(seed, 4, true);
+    Rig mono = make_rig(seed, 4, true);
+    for (Rig* rig : {&split, &mono}) {
+      rig->driver->start(2500);
+      rig->system->simulator().run_until(1200);
+    }
+    const auto faulty = static_cast<ProcessId>((seed + 1) % 4);
+
+    const auto plan = split.manager->plan({faulty});
+    // recover() = drop in-flight + plan + apply everywhere; mirror the
+    // drop so the split path starts from the identical channel state.
+    split.system->network().drop_in_flight();
+    for (ProcessId p = 0; p < 4; ++p) split.manager->apply_to(plan, p);
+    const auto outcome = mono.manager->recover({faulty});
+    ASSERT_EQ(outcome.line, plan.line) << "seed " << seed;
+
+    for (ProcessId p = 0; p < 4; ++p) {
+      EXPECT_EQ(split.system->node(p).last_checkpoint_index(),
+                mono.system->node(p).last_checkpoint_index());
+      EXPECT_TRUE(std::equal(
+          split.system->node(p).dv().entries().begin(),
+          split.system->node(p).dv().entries().end(),
+          mono.system->node(p).dv().entries().begin()));
+      EXPECT_EQ(split.system->node(p).store().stored_indices(),
+                mono.system->node(p).store().stored_indices());
+    }
+  }
+}
+
 TEST(FailureInjector, DrivesDeterministicSessions) {
   auto run_once = [](std::uint64_t seed) {
     Rig rig = make_rig(seed, 4, true);

@@ -166,6 +166,51 @@ TEST(WireRoundTrip, CheckpointCmdCmdDoneState) {
   EXPECT_EQ(f.state.stored, st.stored);
 }
 
+TEST(WireRoundTrip, RecoveryStartAllEdgeVectors) {
+  WireBuffer buf;
+  DecodedFrame f;
+  for (const auto& dv : edge_dvs()) {
+    RecoveryStartBody b;
+    b.session = 0xFEEDFACE12345678ULL;
+    b.attempt = 3;
+    b.li = dv;
+    b.line = dv;
+    const FrameMeta m = meta(-1, 2, 1, 17);
+    encode_recovery_start(buf, m, b);
+    ASSERT_EQ(decode_frame(buf, f), WireError::kOk);
+    expect_header(f, FrameKind::kRecoveryStart, m);
+    EXPECT_EQ(f.recovery_start.session, b.session);
+    EXPECT_EQ(f.recovery_start.attempt, 3u);
+    EXPECT_EQ(f.recovery_start.li, dv);
+    EXPECT_EQ(f.recovery_start.line, dv);
+  }
+}
+
+TEST(WireRoundTrip, RolledBackAllEdgeVectors) {
+  WireBuffer buf;
+  DecodedFrame f;
+  for (const auto& dv : edge_dvs()) {
+    RolledBackBody b;
+    b.session = 7;
+    b.attempt = 0xFFFFFFFFu;
+    b.rolled = 1;
+    b.last_index = std::numeric_limits<CheckpointIndex>::max();
+    b.dv = dv;
+    b.stored = {0, 1, 2};
+    const FrameMeta m = meta(1, -1, 2, 55);
+    encode_rolled_back(buf, m, b);
+    ASSERT_EQ(decode_frame(buf, f), WireError::kOk);
+    expect_header(f, FrameKind::kRolledBack, m);
+    EXPECT_EQ(f.rolled_back.session, 7u);
+    EXPECT_EQ(f.rolled_back.attempt, 0xFFFFFFFFu);
+    EXPECT_EQ(f.rolled_back.rolled, 1);
+    EXPECT_EQ(f.rolled_back.last_index,
+              std::numeric_limits<CheckpointIndex>::max());
+    EXPECT_EQ(f.rolled_back.dv, dv);
+    EXPECT_EQ(f.rolled_back.stored, b.stored);
+  }
+}
+
 // ---- Structured corruption ------------------------------------------------
 
 WireBuffer sample_frame() {
@@ -248,6 +293,153 @@ TEST(WireReject, BadMagicVersionKind) {
   EXPECT_EQ(decode_frame(frame, f), WireError::kBadKind);
 }
 
+// ---- Version-2 compatibility ----------------------------------------------
+
+WireBuffer recovery_start_frame() {
+  WireBuffer buf;
+  RecoveryStartBody b;
+  b.session = 1;
+  b.attempt = 0;
+  b.li = {1, 0, 3};
+  b.line = {0, 0, 2};
+  encode_recovery_start(buf, meta(-1, 1, 0, 20), b);
+  return buf;
+}
+
+WireBuffer rolled_back_frame() {
+  WireBuffer buf;
+  RolledBackBody b;
+  b.session = 1;
+  b.attempt = 0;
+  b.rolled = 1;
+  b.last_index = 2;
+  b.dv = {1, 3, 0};
+  b.stored = {0, 1, 2};
+  encode_rolled_back(buf, meta(1, -1, 0, 21), b);
+  return buf;
+}
+
+// Backward compatibility: a frame produced by a version-1 peer (every
+// pre-recovery kind) still decodes under the version-2 codec — total
+// decoding is preserved across the bump.
+TEST(WireCompat, Version1FramesStillDecode) {
+  DecodedFrame f;
+  for (WireBuffer frame :
+       {sample_frame(), [] {
+          WireBuffer buf;
+          DataBody b;
+          b.send_interval = 4;
+          b.bytes = 9;
+          b.dv = {1, 2, 3};
+          encode_data(buf, meta(0, 1, 0, 3), b);
+          return buf;
+        }()}) {
+    frame[8] = 1;  // re-stamp as a v1 frame (version low byte; high is 0)
+    EXPECT_EQ(decode_frame(frame, f), WireError::kOk);
+  }
+}
+
+// The recovery kinds (8, 9) did not exist in version 1: a v1 frame claiming
+// one is structurally impossible and must be kBadKind, never UB and never a
+// successful decode a v1-era consumer could misroute.
+TEST(WireCompat, Version1RecoveryKindsRejected) {
+  DecodedFrame f;
+  WireBuffer frame = recovery_start_frame();
+  frame[8] = 1;
+  EXPECT_EQ(decode_frame(frame, f), WireError::kBadKind);
+
+  frame = rolled_back_frame();
+  frame[8] = 1;
+  EXPECT_EQ(decode_frame(frame, f), WireError::kBadKind);
+}
+
+TEST(WireCompat, VersionZeroAndFutureRejected) {
+  DecodedFrame f;
+  WireBuffer frame = sample_frame();
+  frame[8] = 0;  // below kWireMinVersion
+  EXPECT_EQ(decode_frame(frame, f), WireError::kBadVersion);
+  frame[8] = kWireVersion + 1;
+  EXPECT_EQ(decode_frame(frame, f), WireError::kBadVersion);
+}
+
+TEST(WireCompat, EncodersStampCurrentVersion) {
+  for (const WireBuffer& frame :
+       {sample_frame(), recovery_start_frame(), rolled_back_frame()}) {
+    const std::uint16_t version = static_cast<std::uint16_t>(
+        frame[8] | (static_cast<std::uint16_t>(frame[9]) << 8));
+    EXPECT_EQ(version, kWireVersion);
+  }
+}
+
+// ---- Structured corruption of the recovery frames -------------------------
+
+TEST(WireReject, RecoveryFrameEveryTruncationPrefix) {
+  DecodedFrame f;
+  for (const WireBuffer& frame :
+       {recovery_start_frame(), rolled_back_frame()}) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::span<const std::uint8_t> prefix(frame.data(), len);
+      EXPECT_NE(decode_frame(prefix, f), WireError::kOk)
+          << "prefix length " << len;
+      // Re-seal the length so the payload decoder itself must catch it.
+      if (len >= kWireHeaderBytes) {
+        WireBuffer cut(frame.begin(),
+                       frame.begin() + static_cast<std::ptrdiff_t>(len));
+        patch_u32(cut, 4, static_cast<std::uint32_t>(cut.size()));
+        EXPECT_EQ(decode_frame(cut, f), WireError::kTruncated)
+            << "patched prefix length " << len;
+      }
+    }
+  }
+}
+
+TEST(WireReject, RecoveryStartTamperedLiCount) {
+  // RecoveryStart payload: u64 session, u32 attempt, then the LI count.
+  const std::size_t li_count_at = kWireHeaderBytes + 12;
+  DecodedFrame f;
+  WireBuffer frame = recovery_start_frame();
+  patch_u32(frame, li_count_at,
+            static_cast<std::uint32_t>(kMaxWireProcesses) + 1);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
+
+  // A count that makes the LI vector swallow every remaining byte leaves
+  // nothing for the line vector's count: kTruncated.
+  frame = recovery_start_frame();
+  patch_u32(frame, li_count_at, 7);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kTruncated);
+
+  // Off-by-a-little counts shift the field boundaries; whatever the
+  // misparse, it must surface as an error, never a silent reinterpretation.
+  for (const std::uint32_t count : {2u, 4u, 5u}) {
+    frame = recovery_start_frame();
+    patch_u32(frame, li_count_at, count);
+    EXPECT_NE(decode_frame(frame, f), WireError::kOk) << "count " << count;
+  }
+
+  // Overflow-proof: count * 4 wraps 32 bits.
+  frame = recovery_start_frame();
+  patch_u32(frame, li_count_at, 0xFFFFFFFFu);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
+}
+
+TEST(WireReject, RolledBackTamperedDvCount) {
+  // RolledBack payload: u64 session, u32 attempt, u8 rolled, i32 last.
+  const std::size_t dv_count_at = kWireHeaderBytes + 17;
+  DecodedFrame f;
+  WireBuffer frame = rolled_back_frame();
+  patch_u32(frame, dv_count_at,
+            static_cast<std::uint32_t>(kMaxWireProcesses) + 1);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
+
+  frame = rolled_back_frame();
+  patch_u32(frame, dv_count_at, 0xFFFFFFFFu);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
+
+  frame = rolled_back_frame();
+  patch_u32(frame, dv_count_at, 6);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kTruncated);
+}
+
 TEST(WireReject, OverlongVectorCount) {
   // RecvAck payload: i32 msg_src, u32 msg_inc, u64 msg_seq, i32 ri, u8
   // forced, then the dv count at header + 21.
@@ -287,11 +479,15 @@ TEST(WireFuzz, RandomGarbageNeverCrashes) {
 }
 
 TEST(WireFuzz, BitFlippedValidFramesNeverCrash) {
+  // Corpus: one v1-era frame plus both recovery-session frames, so the
+  // mutations cover the version-gated decode paths too.
+  const std::vector<WireBuffer> corpus = {
+      sample_frame(), recovery_start_frame(), rolled_back_frame()};
   std::mt19937_64 rng(4242);
   std::uniform_int_distribution<int> byte(0, 255);
   DecodedFrame f;
   for (int iter = 0; iter < 5000; ++iter) {
-    WireBuffer frame = sample_frame();
+    WireBuffer frame = corpus[static_cast<std::size_t>(iter) % corpus.size()];
     std::uniform_int_distribution<std::size_t> pos(0, frame.size() - 1);
     const int flips = 1 + iter % 4;
     for (int k = 0; k < flips; ++k)
@@ -384,6 +580,30 @@ TEST(EventLogLines, RoundTripEveryKind) {
     Event e;
     e.kind = EventKind::kUncleanKill;
     e.p = 1;
+    e.seq = 17;  // the event's own index — the first uncertifiable position
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = EventKind::kRecoveryStart;
+    e.session = 2;
+    e.attempt = 1;
+    e.faulty = {1, 3};
+    e.li = {0, 3, 2, 1};
+    e.line = {0, 2, 2, 0};
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = EventKind::kRolledBack;
+    e.p = 3;
+    e.incarnation = 2;
+    e.session = 2;
+    e.attempt = 1;
+    e.forced = 1;  // rolled flag
+    e.index = 2;
+    e.dv = {0, 1, 0, 3};
+    e.stored = {0, 1, 2};
     events.push_back(e);
   }
   {
@@ -443,6 +663,12 @@ TEST(EventLogLines, MalformedLinesRejected) {
   EXPECT_FALSE(event_from_line("kill p=x", out));           // not a number
   EXPECT_FALSE(event_from_line("kill p=1 extra=2", out));   // trailing token
   EXPECT_FALSE(event_from_line("attach p=1 inc=0 last=0", out));  // short
+  EXPECT_FALSE(event_from_line("ukill p=1", out));          // missing at=
+  EXPECT_FALSE(event_from_line("rstart session=1 attempt=0 faulty=1", out));
+  EXPECT_FALSE(event_from_line(
+      "rstart session=1 attempt=x faulty=1 li=0,1 line=0,0", out));
+  EXPECT_FALSE(event_from_line(
+      "rback p=1 inc=0 session=1 attempt=0 rolled=1 last=2 dv=1,2", out));
 }
 
 TEST(EventLogLines, FuzzedLinesNeverCrash) {
