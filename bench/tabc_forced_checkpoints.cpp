@@ -10,8 +10,10 @@
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "ckpt/protocol.hpp"
 #include "harness/sweep.hpp"
 #include "harness/system.hpp"
 #include "workload/workload.hpp"
@@ -32,6 +34,12 @@ int main(int argc, char** argv) {
   const std::vector<std::uint64_t> seeds =
       harness::seed_range(base_seed, seed_count);
 
+  // The RDT roster, derived from the protocols' own claims — a new RDT
+  // protocol joins this table by existing, not by being listed here.
+  std::vector<ckpt::ProtocolKind> rdt_protocols;
+  for (const auto kind : ckpt::all_protocol_kinds())
+    if (ckpt::make_protocol(kind)->ensures_rdt()) rdt_protocols.push_back(kind);
+
   util::Table table({"workload", "protocol", "basic", "forced",
                      "forced/recv", "total ckpts", "stored at end"});
   std::map<std::string, std::map<std::string, double>> forced_by;
@@ -39,9 +47,7 @@ int main(int argc, char** argv) {
        {workload::WorkloadKind::kUniform, workload::WorkloadKind::kRing,
         workload::WorkloadKind::kClientServer,
         workload::WorkloadKind::kBroadcast}) {
-    for (const auto protocol :
-         {ckpt::ProtocolKind::kFdi, ckpt::ProtocolKind::kFdas,
-          ckpt::ProtocolKind::kMrs}) {
+    for (const auto protocol : rdt_protocols) {
       const std::vector<harness::SweepRun> runs = harness::run_seed_sweep(
           fleet, seeds,
           [&](std::uint64_t seed,

@@ -17,6 +17,7 @@
 #include "ccp/analysis.hpp"
 #include "ccp/precedence.hpp"
 #include "ccp/zigzag.hpp"
+#include "ckpt/protocol.hpp"
 #include "ckpt/sharded_checkpoint_store.hpp"
 #include "ckpt/storage_backend.hpp"
 #include "core/rdt_lgc.hpp"
@@ -175,6 +176,46 @@ void BM_ReceivePathPerPeer(benchmark::State& state) {
 }
 BENCHMARK(BM_ReceivePathBatched)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_ReceivePathPerPeer)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---- Protocol seam cost ---------------------------------------------------
+//
+// One checkpoint + send + delivery per iteration through each protocol
+// behind the piggyback seam: the delta against Uncoordinated is the price
+// of that protocol's on_send control fill, must_force query, and
+// on_deliver merge.  FINE is the widest (n+1 control words per message);
+// the scalar-clock protocols should be indistinguishable from the DV-only
+// family at any n.
+void BM_ProtocolSeam(benchmark::State& state, ckpt::ProtocolKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::SystemConfig config;
+  config.process_count = n;
+  config.network.manual = true;
+  config.protocol = kind;
+  config.gc = harness::GcChoice::kRdtLgc;
+  harness::System system(config);
+  for (auto _ : state) {
+    system.node(1).take_basic_checkpoint();
+    const auto id = system.node(1).send_app_message(0);
+    system.network().deliver_now(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_ProtocolUncoordinated(benchmark::State& state) {
+  BM_ProtocolSeam(state, ckpt::ProtocolKind::kUncoordinated);
+}
+void BM_ProtocolFdas(benchmark::State& state) {
+  BM_ProtocolSeam(state, ckpt::ProtocolKind::kFdas);
+}
+void BM_ProtocolBcs(benchmark::State& state) {
+  BM_ProtocolSeam(state, ckpt::ProtocolKind::kBcs);
+}
+void BM_ProtocolFine(benchmark::State& state) {
+  BM_ProtocolSeam(state, ckpt::ProtocolKind::kFine);
+}
+BENCHMARK(BM_ProtocolUncoordinated)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(BM_ProtocolFdas)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(BM_ProtocolBcs)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(BM_ProtocolFine)->Arg(4)->Arg(64)->Arg(256);
 
 // ---- Sharded store put/collect access patterns ---------------------------
 //

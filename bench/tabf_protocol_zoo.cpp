@@ -1,0 +1,185 @@
+// T-F: the CIC protocol zoo under adversarial workloads.  Every protocol
+// behind the piggyback seam (DV-only family AND the logical-clock family
+// BCS/FI/FINE) runs the identical multi-seed workload grid; each cell
+// reports the paper-relevant costs side by side:
+//
+//   forced        cross-seed mean forced checkpoints (the CIC overhead),
+//   forced/recv   forced checkpoints per delivered message,
+//   stored        stable checkpoints retained at the end (GC off — the raw
+//                 footprint the protocol's pattern produces),
+//   thm1-free     how many of those the paper's Theorem-1 collector verdict
+//                 declares obsolete — the baseline any GC could reclaim,
+//   useless       useless stable checkpoints by the Z-cycle oracle (0 is the
+//                 ZCF guarantee; Uncoordinated and FINE may be > 0),
+//   max-rollback  worst-case rollback depth: the all-faulty recovery line's
+//                 largest per-process distance from the volatile state.
+//
+// The adversarial workloads target the protocols' weak spots: heavy-tailed
+// fan-out (dependency bursts), token-bucket traffic (long silences FDAS
+// exploits), hotspot (one process accumulates every dependency), cascade
+// (the Figure-2 domino weave).  --full widens the grid to every workload
+// kind — the nightly configuration.
+//
+// Verdict: every protocol that CLAIMS Z-cycle freedom (ensures_no_useless)
+// must show zero useless checkpoints in every cell.  The claims are part of
+// the library's contract; the grid is the empirical audit.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ckpt/protocol.hpp"
+#include "ccp/analysis.hpp"
+#include "ccp/precedence.hpp"
+#include "ccp/zigzag.hpp"
+#include "harness/sweep.hpp"
+#include "harness/system.hpp"
+#include "workload/workload.hpp"
+
+using namespace rdtgc;
+
+namespace {
+
+/// Worst-case rollback depth: distance from the volatile state to the
+/// all-faulty recovery line, maximized over processes.  0 means nobody
+/// would roll past their volatile state's checkpoint.
+double max_rollback_depth(const ccp::CcpRecorder& recorder,
+                          const ccp::ZigzagAnalysis& zigzag) {
+  const auto n = static_cast<ProcessId>(recorder.process_count());
+  const std::vector<CheckpointIndex> line =
+      zigzag.recovery_line(std::vector<bool>(recorder.process_count(), true));
+  CheckpointIndex depth = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    const CheckpointIndex volatile_pos = recorder.last_stable(p) + 1;
+    depth = std::max(depth, volatile_pos - line[static_cast<std::size_t>(p)]);
+  }
+  return static_cast<double>(depth);
+}
+
+/// Checkpoints the Theorem-1 collector verdict would free.
+std::uint64_t theorem1_collectible(const ccp::CcpRecorder& recorder) {
+  const ccp::CausalGraph causal(recorder);
+  const auto obsolete = ccp::obsolete_theorem1(recorder, causal);
+  std::uint64_t freed = 0;
+  for (const auto& flags : obsolete)
+    for (const bool f : flags) freed += f ? 1 : 0;
+  return freed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options(
+      argc, argv, {"n", "duration", "seed", "seeds", "workers", "full"});
+  const std::size_t n = options.u64("n", 6);
+  const SimTime duration = options.u64("duration", 12000);
+  const std::uint64_t base_seed = options.u64("seed", 5);
+  const std::size_t seed_count = options.u64("seeds", 6);
+  const bool full = options.u64("full", 0) != 0;
+  bench::banner("T-F: CIC protocol zoo on the adversarial workload grid");
+
+  harness::FleetRunner fleet(
+      {.workers = static_cast<std::size_t>(options.u64("workers", 0))});
+  const std::vector<std::uint64_t> seeds =
+      harness::seed_range(base_seed, seed_count);
+
+  std::vector<workload::WorkloadKind> workloads;
+  if (full) {
+    workloads.assign(workload::all_workload_kinds().begin(),
+                     workload::all_workload_kinds().end());
+  } else {
+    workloads = {
+        workload::WorkloadKind::kUniform, workload::WorkloadKind::kHeavyTail,
+        workload::WorkloadKind::kTokenBucket, workload::WorkloadKind::kHotspot,
+        workload::WorkloadKind::kCascade};
+  }
+
+  util::Table table({"workload", "protocol", "forced", "forced/recv",
+                     "stored", "thm1-free", "useless", "max-rollback"});
+  bool zcf_claims_hold = true;
+  for (const auto kind : workloads) {
+    for (const auto protocol : ckpt::all_protocol_kinds()) {
+      const std::vector<harness::SweepRun> runs = harness::run_seed_sweep(
+          fleet, seeds,
+          [&](std::uint64_t seed,
+              harness::WorkerContext&) -> harness::SweepRun {
+            harness::SystemConfig config;
+            config.process_count = n;
+            config.protocol = protocol;
+            // GC off: the footprint column is the protocol's raw pattern;
+            // the Theorem-1 verdict is computed as the reclaimable baseline.
+            config.gc = harness::GcChoice::kNone;
+            config.seed = seed;
+            harness::System system(config);
+            workload::WorkloadConfig wl;
+            wl.kind = kind;
+            wl.seed = seed;  // identical workload for every protocol
+            workload::WorkloadDriver driver(system.simulator(),
+                                            system.node_ptrs(), wl);
+            driver.start(duration);
+            system.simulator().run();
+
+            harness::SweepRun run;
+            for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+              run.basic_checkpoints +=
+                  system.node(p).counters().basic_checkpoints;
+              run.forced_checkpoints +=
+                  system.node(p).counters().forced_checkpoints;
+              run.messages_received +=
+                  system.node(p).counters().messages_received;
+            }
+            run.final_storage = static_cast<double>(system.total_stored());
+            const ccp::ZigzagAnalysis zigzag(system.recorder());
+            // SweepRun repurposing for the grid's extra figures:
+            // collected <- Theorem-1 collectible, control_messages <- useless
+            // stable checkpoints, extra <- max rollback depth.
+            run.collected = theorem1_collectible(system.recorder());
+            run.control_messages = zigzag.useless_stable_checkpoints().size();
+            run.extra = max_rollback_depth(system.recorder(), zigzag);
+            return run;
+          });
+
+      double forced = 0, received = 0, stored = 0, thm1 = 0, useless = 0,
+             rollback = 0;
+      for (const harness::SweepRun& run : runs) {
+        forced += static_cast<double>(run.forced_checkpoints);
+        received += static_cast<double>(run.messages_received);
+        stored += run.final_storage;
+        thm1 += static_cast<double>(run.collected);
+        useless += static_cast<double>(run.control_messages);
+        rollback = std::max(rollback, run.extra);
+      }
+      const double inv = 1.0 / static_cast<double>(runs.size());
+      forced *= inv;
+      received *= inv;
+      stored *= inv;
+      thm1 *= inv;
+      useless *= inv;
+
+      if (ckpt::make_protocol(protocol)->ensures_no_useless() && useless > 0)
+        zcf_claims_hold = false;
+
+      table.begin_row()
+          .add_cell(workload::workload_kind_name(kind))
+          .add_cell(ckpt::protocol_kind_name(protocol))
+          .add_cell(forced, 1)
+          .add_cell(received > 0 ? forced / received : 0.0, 3)
+          .add_cell(stored, 1)
+          .add_cell(thm1, 1)
+          .add_cell(useless, 2)
+          .add_cell(rollback, 0);
+    }
+  }
+  bench::emit(table,
+              "n=" + std::to_string(n) + " duration=" +
+                  std::to_string(duration) + " seeds=" +
+                  std::to_string(seed_count) + (full ? " (full grid)" : "") +
+                  " workers=" + std::to_string(fleet.worker_count()),
+              options.csv());
+  bench::verdict(zcf_claims_hold,
+                 "every protocol claiming Z-cycle freedom shows zero useless "
+                 "checkpoints in every cell");
+  return zcf_claims_hold ? 0 : 1;
+}

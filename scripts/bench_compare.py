@@ -12,6 +12,12 @@ else on cpu_time.  Always exits 0: this is a trend signal for humans (and CI
 annotations), not a gate — a loaded CI runner must not fail the build.  New
 benchmarks (no baseline entry) and removed ones are reported informationally.
 
+Comparisons are only meaningful on matching media: both JSONs carry the
+run_bench.sh-stamped context.bench_media_fs (the committed baseline is
+tmpfs-recorded), and a baseline/fresh mismatch loudly downgrades the whole
+comparison to informational — deltas print, but nothing is flagged as a
+regression, because a disk-vs-tmpfs delta measures the media, not the code.
+
 --history FILE appends one NDJSON record of this comparison (UTC timestamp,
 commit, per-benchmark baseline/fresh/delta) to FILE — the scheduled bench
 workflow feeds its bench-history artifact with this, so slow drift across
@@ -39,13 +45,16 @@ TRACKED = re.compile(
     r"^(BM_DvMerge|BM_ReceivePath)\b"
     r"|^BM_Rollback|^BM_Sharded|^BM_Backend|^BM_FleetRunner"
     r"|^BM_NodeAttach|^BM_ChurnRestart"
-    r"|^BM_GroupCommit|^BM_BackgroundChurn|^BM_DurabilityLag")
+    r"|^BM_GroupCommit|^BM_BackgroundChurn|^BM_DurabilityLag"
+    r"|^BM_Protocol")
 
 
 def load(path):
-    """name -> measured time: real_time for /real_time benchmarks, cpu_time
-    otherwise (a worker-pool benchmark's main-thread cpu_time is mostly
-    condition-variable waiting)."""
+    """(name -> measured time, media_fs): real_time for /real_time
+    benchmarks, cpu_time otherwise (a worker-pool benchmark's main-thread
+    cpu_time is mostly condition-variable waiting).  media_fs is the
+    run_bench.sh-stamped context.bench_media_fs ("unknown" when absent —
+    a raw tabd_micro run that bypassed the wrapper)."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -54,7 +63,8 @@ def load(path):
             continue
         key = "real_time" if "/real_time" in b["name"] else "cpu_time"
         out[b["name"]] = b[key]
-    return out
+    media = data.get("context", {}).get("bench_media_fs", "unknown")
+    return out, media
 
 
 def main():
@@ -67,8 +77,24 @@ def main():
                         help="append one NDJSON comparison record to FILE")
     args = parser.parse_args()
 
-    baseline = load(args.baseline)
-    fresh = load(args.fresh)
+    baseline, baseline_media = load(args.baseline)
+    fresh, fresh_media = load(args.fresh)
+
+    # The storage-backend families time the MEDIA as much as the code: a
+    # tmpfs baseline (the committed BENCH_micro.json) against an ext4/disk
+    # fresh run regresses by integer factors with zero code change.  A
+    # cross-media comparison is therefore downgraded to informational —
+    # printed, recorded, but never flagged as a regression.
+    cross_media = baseline_media != fresh_media
+    if cross_media:
+        print(f"::warning title=bench media mismatch::baseline media is "
+              f"'{baseline_media}', fresh media is '{fresh_media}' — "
+              f"cross-media deltas are not comparable")
+        print(f"WARNING: cross-media comparison ({baseline_media} baseline "
+              f"vs {fresh_media} fresh): regression flags suppressed, "
+              f"output is informational only.\n"
+              f"Re-record on matching media (scripts/run_bench.sh uses "
+              f"/dev/shm) for a real comparison.\n")
 
     regressions = []
     records = []
@@ -82,7 +108,7 @@ def main():
             continue
         delta = (fresh[name] / baseline[name] - 1.0) * 100.0
         flag = ""
-        if delta > args.threshold:
+        if delta > args.threshold and not cross_media:
             flag = "  <-- REGRESSION"
             regressions.append((name, delta))
         print(f"{name:40s} {baseline[name]:12.1f} {fresh[name]:12.1f} "
@@ -101,12 +127,16 @@ def main():
                   f"vs BENCH_micro.json (threshold {args.threshold:.0f}%)")
         print(f"{len(regressions)} tracked benchmark(s) regressed more than "
               f"{args.threshold:.0f}% — investigate before the baseline drifts.")
+    elif cross_media:
+        print("\ncross-media run: no regression verdict "
+              f"({baseline_media} baseline vs {fresh_media} fresh)")
     else:
         print("\nno tracked regressions above "
               f"{args.threshold:.0f}% (families: BM_DvMerge, BM_ReceivePath, "
               "BM_NodeAttach*, BM_ChurnRestart*, "
               "BM_Rollback*, BM_Sharded*, BM_Backend*, BM_FleetRunner, "
-              "BM_GroupCommit*, BM_BackgroundChurn*, BM_DurabilityLag)")
+              "BM_GroupCommit*, BM_BackgroundChurn*, BM_DurabilityLag, "
+              "BM_Protocol*)")
 
     if args.history:
         record = {
@@ -115,6 +145,9 @@ def main():
             "commit": os.environ.get("GITHUB_SHA", ""),
             "threshold_pct": args.threshold,
             "regressions": len(regressions),
+            "baseline_media_fs": baseline_media,
+            "fresh_media_fs": fresh_media,
+            "cross_media": cross_media,
             "benchmarks": records,
         }
         with open(args.history, "a") as f:

@@ -25,6 +25,9 @@ Node::Node(ProcessId self, std::size_t process_count,
       gc_scratch_(process_count) {
   RDTGC_EXPECTS(self >= 0 && static_cast<std::size_t>(self) < process_count);
   RDTGC_EXPECTS(protocol_ != nullptr && gc_ != nullptr);
+  // Before the first checkpoint hook fires below: start_fresh/attach both
+  // take or replay checkpoints, and the protocol observes every one.
+  protocol_->initialize(self_, process_count);
   transport_.connect(self_, [this](const sim::Message& m) { on_receive(m); });
   if (config.storage.open_mode == OpenMode::kAttach) {
     attach_from_storage(process_count);
@@ -117,6 +120,11 @@ sim::MessageId Node::send_app_message(ProcessId dst, std::uint64_t bytes) {
   m.dv = dv_;
   m.send_interval = dv_[self_];
   m.bytes = bytes;
+  // Protocol control words ride along (recycled buffer, cleared by
+  // make_message); on_send sees the pre-send state — the `sent` flag rises
+  // after, like Algorithm 4's `sent <- true`.
+  protocol_->on_send(dst, m.control);
+  RDTGC_ASSERT(m.control.size() == protocol_->control_words());
   m.id = recorder_.new_message_id();
   recorder_.record_send(m, simulator_.now());
   sent_since_checkpoint_ = true;
@@ -135,13 +143,19 @@ void Node::on_receive(const sim::Message& m) {
   // receiver itself holds.
   RDTGC_ASSERT(m.dv[self_] <= dv_[self_]);
 
-  if (protocol_->must_force(dv_, m.dv, sent_since_checkpoint_)) {
+  // A peer running the same protocol wrote exactly control_words() words.
+  RDTGC_ASSERT(m.control.size() == protocol_->control_words());
+
+  if (protocol_->must_force(dv_, m, sent_since_checkpoint_)) {
     take_checkpoint(ccp::CheckpointKind::kForced);
     ++counters_.forced_checkpoints;
   }
   ++counters_.messages_received;
   recorder_.record_receive(m, dv_[self_], simulator_.now());
   dv_.merge_into(m.dv, gc_scratch_);
+  // Piggybacked protocol knowledge merges after the forced checkpoint, so a
+  // BCS/FI forced checkpoint conceptually carries the message's timestamp.
+  protocol_->on_deliver(m);
   if (config_.batched_gc_path) {
     gc_->on_new_dependencies(gc_scratch_.span());
   } else {
@@ -154,6 +168,7 @@ void Node::take_checkpoint(ccp::CheckpointKind kind) {
   store_.put(index, dv_, simulator_.now(), config_.checkpoint_bytes);
   recorder_.record_checkpoint(self_, index, dv_, kind, simulator_.now());
   gc_->on_checkpoint_stored(index);
+  protocol_->on_checkpoint(kind);
   dv_.at(self_) += 1;
   sent_since_checkpoint_ = false;
   RDTGC_DEBUG("p" << self_ << " checkpoint " << index << " dv="
@@ -169,6 +184,7 @@ void Node::rollback_to(CheckpointIndex ri,
   dv_ = store_.get(ri).dv;                 // line 5: recreate DV
   dv_.at(self_) += 1;                      // line 6
   sent_since_checkpoint_ = false;
+  protocol_->on_rollback();
   gc_->on_rollback(RollbackInfo{ri, li}, dv_);  // lines 7-17
 }
 

@@ -1,27 +1,43 @@
 #include "ckpt/protocol.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "util/check.hpp"
 
 namespace rdtgc::ckpt {
 
+void CheckpointingProtocol::initialize(ProcessId, std::size_t) {}
+
+void CheckpointingProtocol::on_send(ProcessId, std::vector<sim::ControlWord>&) {
+}
+
+void CheckpointingProtocol::on_deliver(const sim::Message&) {}
+
+void CheckpointingProtocol::on_checkpoint(ccp::CheckpointKind) {}
+
+void CheckpointingProtocol::on_rollback() {}
+
 namespace {
+
+// ---- DV-only family (no control words) ----
 
 class Uncoordinated final : public CheckpointingProtocol {
  public:
-  bool must_force(const causality::DependencyVector&,
-                  const causality::DependencyVector&, bool) const override {
+  bool must_force(const causality::DependencyVector&, const sim::Message&,
+                  bool) const override {
     return false;
   }
   bool ensures_rdt() const override { return false; }
+  bool ensures_no_useless() const override { return false; }
   std::string name() const override { return "uncoordinated"; }
 };
 
 class Fdi final : public CheckpointingProtocol {
  public:
-  bool must_force(const causality::DependencyVector& dv,
-                  const causality::DependencyVector& message_dv,
+  bool must_force(const causality::DependencyVector& dv, const sim::Message& m,
                   bool) const override {
-    return dv.has_new_dependency_from(message_dv);
+    return dv.has_new_dependency_from(m.dv);
   }
   bool ensures_rdt() const override { return true; }
   std::string name() const override { return "FDI"; }
@@ -29,10 +45,9 @@ class Fdi final : public CheckpointingProtocol {
 
 class Fdas final : public CheckpointingProtocol {
  public:
-  bool must_force(const causality::DependencyVector& dv,
-                  const causality::DependencyVector& message_dv,
+  bool must_force(const causality::DependencyVector& dv, const sim::Message& m,
                   bool sent_since_checkpoint) const override {
-    return sent_since_checkpoint && dv.has_new_dependency_from(message_dv);
+    return sent_since_checkpoint && dv.has_new_dependency_from(m.dv);
   }
   bool ensures_rdt() const override { return true; }
   std::string name() const override { return "FDAS"; }
@@ -40,8 +55,7 @@ class Fdas final : public CheckpointingProtocol {
 
 class Mrs final : public CheckpointingProtocol {
  public:
-  bool must_force(const causality::DependencyVector&,
-                  const causality::DependencyVector&,
+  bool must_force(const causality::DependencyVector&, const sim::Message&,
                   bool sent_since_checkpoint) const override {
     return sent_since_checkpoint;
   }
@@ -49,10 +63,148 @@ class Mrs final : public CheckpointingProtocol {
   std::string name() const override { return "MRS"; }
 };
 
+// ---- Logical-clock family (control words; see the header's survey) ----
+
+/// BCS.  One scalar Lamport clock that moves only at checkpoints: a basic
+/// checkpoint increments it, a forced checkpoint adopts the forcing message's
+/// timestamp.  Control layout: [lc].
+class Bcs final : public CheckpointingProtocol {
+ public:
+  std::size_t control_words() const override { return 1; }
+
+  void on_send(ProcessId, std::vector<sim::ControlWord>& out) override {
+    out.push_back(lc_);
+  }
+
+  bool must_force(const causality::DependencyVector&, const sim::Message& m,
+                  bool) const override {
+    return m.control[0] > lc_;
+  }
+
+  void on_deliver(const sim::Message& m) override {
+    // m.lc > lc happens exactly when must_force fired: the forced checkpoint
+    // was just taken (before this delivery) and adopts m's timestamp.
+    lc_ = std::max(lc_, m.control[0]);
+  }
+
+  void on_checkpoint(ccp::CheckpointKind kind) override {
+    if (kind == ccp::CheckpointKind::kBasic) ++lc_;
+  }
+
+  bool ensures_rdt() const override { return false; }
+  bool ensures_no_useless() const override { return true; }
+  std::string name() const override { return "BCS"; }
+
+ private:
+  sim::ControlWord lc_ = 0;
+};
+
+/// FI (scalar HMNR core).  BCS plus the after-send guard AND the full
+/// Lamport merge on every delivery.  The two must travel together — the
+/// merge keeps clocks non-decreasing along every zigzag junction the guard
+/// lets survive (see the header); skipping it re-opens Z-cycles.
+/// Control layout: [lc].
+class Fi final : public CheckpointingProtocol {
+ public:
+  std::size_t control_words() const override { return 1; }
+
+  void on_send(ProcessId, std::vector<sim::ControlWord>& out) override {
+    out.push_back(lc_);
+  }
+
+  bool must_force(const causality::DependencyVector&, const sim::Message& m,
+                  bool sent_since_checkpoint) const override {
+    return sent_since_checkpoint && m.control[0] > lc_;
+  }
+
+  void on_deliver(const sim::Message& m) override {
+    lc_ = std::max(lc_, m.control[0]);
+  }
+
+  void on_checkpoint(ccp::CheckpointKind kind) override {
+    // Forced checkpoints need no bump: the forcing delivery's merge strictly
+    // raises the clock (the force required m.lc > lc).
+    if (kind == ccp::CheckpointKind::kBasic) ++lc_;
+  }
+
+  bool ensures_rdt() const override { return false; }
+  bool ensures_no_useless() const override { return true; }
+  std::string name() const override { return "FI"; }
+
+ private:
+  sim::ControlWord lc_ = 0;
+};
+
+/// FINE (flawed by design — kept faithful to the published weakening).  FI
+/// plus per-peer checkpoint counts: the force is skipped when the message
+/// brings strictly fresher checkpoint-count knowledge for every peer this
+/// interval sent to.  The claimed justification — the peer's newer
+/// checkpoint breaks the suspect zigzag paths — is false (a zigzag path from
+/// an earlier receive interval of that peer survives), which is Garcia et
+/// al.'s result; the pinned counterexample reproduces it.
+/// Control layout: [lc, ckpt[0..n)].
+class Fine final : public CheckpointingProtocol {
+ public:
+  void initialize(ProcessId self, std::size_t process_count) override {
+    RDTGC_EXPECTS(self >= 0 &&
+                  static_cast<std::size_t>(self) < process_count);
+    self_ = static_cast<std::size_t>(self);
+    ckpt_.assign(process_count, 0);
+    sent_to_.assign(process_count, 0);
+  }
+
+  std::size_t control_words() const override { return 1 + ckpt_.size(); }
+
+  void on_send(ProcessId dst, std::vector<sim::ControlWord>& out) override {
+    out.push_back(lc_);
+    out.insert(out.end(), ckpt_.begin(), ckpt_.end());
+    sent_to_[static_cast<std::size_t>(dst)] = 1;
+  }
+
+  bool must_force(const causality::DependencyVector&, const sim::Message& m,
+                  bool) const override {
+    if (m.control[0] <= lc_) return false;
+    for (std::size_t k = 0; k < ckpt_.size(); ++k) {
+      // A peer we sent to whose checkpoint knowledge the message does NOT
+      // refresh keeps the zigzag suspicion alive.
+      if (sent_to_[k] && m.control[1 + k] <= ckpt_[k]) return true;
+    }
+    return false;
+  }
+
+  void on_deliver(const sim::Message& m) override {
+    lc_ = std::max(lc_, m.control[0]);
+    for (std::size_t k = 0; k < ckpt_.size(); ++k)
+      ckpt_[k] = std::max(ckpt_[k], m.control[1 + k]);
+  }
+
+  void on_checkpoint(ccp::CheckpointKind kind) override {
+    if (kind == ccp::CheckpointKind::kBasic) ++lc_;
+    ++ckpt_[self_];
+    std::fill(sent_to_.begin(), sent_to_.end(), 0);
+  }
+
+  void on_rollback() override {
+    // Conservative: the clocks stay (monotone knowledge, still safe), the
+    // interval-local send set does not survive the interval's death.
+    std::fill(sent_to_.begin(), sent_to_.end(), 0);
+  }
+
+  bool ensures_rdt() const override { return false; }
+  bool ensures_no_useless() const override { return false; }
+  std::string name() const override { return "FINE"; }
+
+ private:
+  std::size_t self_ = 0;
+  sim::ControlWord lc_ = 0;
+  std::vector<sim::ControlWord> ckpt_;
+  std::vector<std::uint8_t> sent_to_;
+};
+
 }  // namespace
 
 std::unique_ptr<CheckpointingProtocol> make_protocol(ProtocolKind kind) {
-  switch (kind) {
+  switch (kind) {  // no default: -Wswitch flags a new unhandled kind
     case ProtocolKind::kUncoordinated:
       return std::make_unique<Uncoordinated>();
     case ProtocolKind::kFdi:
@@ -61,9 +213,16 @@ std::unique_ptr<CheckpointingProtocol> make_protocol(ProtocolKind kind) {
       return std::make_unique<Fdas>();
     case ProtocolKind::kMrs:
       return std::make_unique<Mrs>();
+    case ProtocolKind::kBcs:
+      return std::make_unique<Bcs>();
+    case ProtocolKind::kFi:
+      return std::make_unique<Fi>();
+    case ProtocolKind::kFine:
+      return std::make_unique<Fine>();
   }
-  RDTGC_ASSERT(false);
-  return nullptr;
+  throw util::ContractViolation(
+      "make_protocol: unhandled ProtocolKind " +
+      std::to_string(static_cast<int>(kind)));
 }
 
 std::string protocol_kind_name(ProtocolKind kind) {

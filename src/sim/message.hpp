@@ -1,10 +1,17 @@
 // Application message with the piggybacked control information used by the
-// RDT checkpointing protocols and by RDT-LGC (§4.2): a transitive dependency
-// vector.  Nothing else is piggybacked — the point of the paper is that the
-// garbage collector needs no additional control information.
+// checkpointing protocols and by RDT-LGC (§4.2).
+//
+// Every message carries the transitive dependency vector — the control
+// information RDT-LGC consumes, which is the paper's premise: the garbage
+// collector needs nothing beyond it.  A checkpointing *protocol* may
+// additionally piggyback its own control words (`control`); the logical-clock
+// CIC family (BCS/FI/FINE, ckpt/protocol.hpp) rides timestamps there.  The
+// collector never reads them, so the paper's premise is untouched: extra
+// words are protocol overhead, accounted for in the comparison grid.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "causality/dependency_vector.hpp"
 #include "causality/types.hpp"
@@ -14,12 +21,21 @@ namespace rdtgc::sim {
 /// Unique message identifier (assigned by the network).
 using MessageId = std::uint64_t;
 
+/// One unit of protocol-private piggybacked state (see Message::control).
+using ControlWord = std::uint32_t;
+
 struct Message {
   MessageId id = 0;
   ProcessId src = -1;
   ProcessId dst = -1;
   /// Sender's dependency vector at send time (the piggybacked timestamp).
   causality::DependencyVector dv;
+  /// Protocol-private control words, written by the sender's
+  /// ckpt::CheckpointingProtocol::on_send and interpreted only by the
+  /// receiver's instance of the same protocol (layout is the protocol's
+  /// business; empty for the DV-only family).  Buffer is recycled alongside
+  /// the DV by the transports — the steady-state send path never allocates.
+  std::vector<ControlWord> control;
   /// Sender's checkpoint interval at send time (= dv[src]); recorded for the
   /// offline zigzag analysis.
   IntervalIndex send_interval = 0;

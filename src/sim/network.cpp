@@ -49,11 +49,13 @@ void Network::disconnect(ProcessId p) {
 }
 
 Message Network::make_message() {
-  // Fresh value-initialized shell that steals only the recycled DV buffer
-  // (the caller overwrites its contents with a same-size copy, reusing the
+  // Fresh value-initialized shell that steals only the recycled DV and
+  // control buffers (the caller overwrites their contents, reusing the
   // capacity) — every other field gets its default, even ones added later.
   Message m;
   m.dv = std::move(recycled_.dv);
+  m.control = std::move(recycled_.control);
+  m.control.clear();  // capacity survives; stale words must not
   return m;
 }
 

@@ -152,6 +152,7 @@ sim::MessageId UdsTransport::send(sim::Message m) {
   data_scratch_.send_interval = m.send_interval;
   data_scratch_.bytes = m.bytes;
   data_scratch_.dv.assign(m.dv.entries().begin(), m.dv.entries().end());
+  data_scratch_.control.assign(m.control.begin(), m.control.end());
   FrameMeta meta;
   meta.src = self_;
   meta.dst = m.dst;
@@ -167,6 +168,8 @@ sim::MessageId UdsTransport::send(sim::Message m) {
 sim::Message UdsTransport::make_message() {
   sim::Message m;
   m.dv = std::move(recycled_.dv);
+  m.control = std::move(recycled_.control);
+  m.control.clear();  // capacity survives; stale words must not
   return m;
 }
 

@@ -34,6 +34,11 @@ void put_ivec(WireBuffer& out, const std::vector<IntervalIndex>& v) {
   for (const IntervalIndex x : v) put_i32(out, x);
 }
 
+void put_uvec(WireBuffer& out, const std::vector<std::uint32_t>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const std::uint32_t x : v) put_u32(out, x);
+}
+
 /// Bounds-checked cursor over the payload bytes.  Every get_* returns false
 /// instead of reading past the end; callers propagate kTruncated.
 class Reader {
@@ -100,6 +105,23 @@ class Reader {
     return WireError::kOk;
   }
 
+  /// count-prefixed u32 vector (protocol control words); capped at
+  /// kMaxControlWords.
+  WireError get_uvec(std::vector<std::uint32_t>& v) {
+    std::uint32_t count = 0;
+    if (!get_u32(count)) return WireError::kTruncated;
+    if (count > kMaxControlWords) return WireError::kOverlong;
+    if (remaining() < std::size_t{count} * 4) return WireError::kTruncated;
+    v.clear();
+    v.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t x = 0;
+      get_u32(x);  // bounds pre-checked above
+      v.push_back(x);
+    }
+    return WireError::kOk;
+  }
+
  private:
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;
@@ -154,6 +176,7 @@ void encode_data(WireBuffer& out, const FrameMeta& meta, const DataBody& b) {
   put_i32(out, b.send_interval);
   put_u64(out, b.bytes);
   put_ivec(out, b.dv);
+  put_uvec(out, b.control);  // v3: always written, possibly empty
   seal_frame(out);
 }
 
@@ -261,6 +284,14 @@ WireError decode_frame(std::span<const std::uint8_t> bytes,
       if (!r.get_i32(out.data.send_interval)) return WireError::kTruncated;
       if (!r.get_u64(out.data.bytes)) return WireError::kTruncated;
       err = r.get_ivec(out.data.dv);
+      // v3 appended the protocol control words; an older frame has none
+      // (and must not see kTruncated for the missing field).
+      if (err == WireError::kOk) {
+        if (version >= 3)
+          err = r.get_uvec(out.data.control);
+        else
+          out.data.control.clear();
+      }
       break;
     case FrameKind::kRecvAck:
       if (!r.get_i32(out.recv_ack.msg_src)) return WireError::kTruncated;

@@ -36,17 +36,25 @@ namespace rdtgc::transport {
 
 inline constexpr std::uint32_t kWireMagic = 0x52445447;  // "RDTG"
 /// Current version, written by every encoder.  v2 added the recovery-session
-/// frames (kRecoveryStart / kRolledBack); the header layout is unchanged.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// frames (kRecoveryStart / kRolledBack); v3 appends the checkpointing
+/// protocol's piggybacked control words to Data (sim::Message::control — the
+/// logical-clock CIC family rides its timestamps there).  The header layout
+/// is unchanged.
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Oldest version the decoder still accepts.  v1 peers can speak every kind
 /// up to kState; the recovery kinds require v2 (a v1 frame claiming kind 8+
-/// is kBadKind, not UB).
+/// is kBadKind, not UB).  A v1/v2 Data frame simply carries no control words
+/// — correct for the DV-only protocols, which are the only ones those
+/// versions ever shipped.
 inline constexpr std::uint16_t kWireMinVersion = 1;
 inline constexpr std::size_t kWireHeaderBytes = 32;
 /// Upper bound on one frame; a 4096-process State frame fits comfortably.
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 /// Upper bound on serialized DV width / stored-index lists.
 inline constexpr std::size_t kMaxWireProcesses = 4096;
+/// Upper bound on piggybacked protocol control words per Data frame (the
+/// widest protocol, FINE, needs process_count + 1).
+inline constexpr std::size_t kMaxControlWords = 2 * kMaxWireProcesses;
 
 enum class FrameKind : std::uint16_t {
   kHello = 1,       ///< worker -> parent: (re)joined, recovered state digest
@@ -103,11 +111,14 @@ struct HelloBody {
 
 /// An application message (sim::Message on the wire).  The sender's
 /// (src, incarnation, seq) triple is the cross-process message identity —
-/// worker-local sim::MessageIds do not survive the socket hop.
+/// worker-local sim::MessageIds do not survive the socket hop.  `control`
+/// (v3+) carries the sending protocol's piggybacked words verbatim; on a
+/// v1/v2 frame it decodes empty.
 struct DataBody {
   IntervalIndex send_interval = 0;
   std::uint64_t bytes = 0;
   std::vector<IntervalIndex> dv;
+  std::vector<std::uint32_t> control;
 };
 
 /// Delivery record: destination processed Data frame (msg_src,

@@ -95,7 +95,8 @@ class Worker {
   int handle_data(const DecodedFrame& frame) {
     const DataBody& body = frame.data;
     if (frame.header.dst != config_.self ||
-        body.dv.size() != config_.process_count) {
+        body.dv.size() != config_.process_count ||
+        body.control.size() != node_->protocol().control_words()) {
       return kWorkerBadFrame;
     }
     sim::Message m = transport_.make_message();
@@ -107,6 +108,7 @@ class Worker {
       m.dv = causality::DependencyVector(config_.process_count);
     for (std::size_t j = 0; j < body.dv.size(); ++j)
       m.dv.at(static_cast<ProcessId>(j)) = body.dv[j];
+    m.control.assign(body.control.begin(), body.control.end());
     // The local recorder never saw the remote send event: register it now so
     // record_receive (inside the Node's sink) finds its message.  Serials
     // are local to this recorder — it is observer-grade, the global truth

@@ -4,7 +4,7 @@
 // probability — the paper's autonomous checkpoints) or one or more message
 // sends whose destinations depend on the communication shape.
 //
-// Shapes:
+// Benign shapes:
 //  * kUniform      — random peer (homogeneous gossip);
 //  * kRing         — fixed successor (pipeline);
 //  * kClientServer — process 0 is a server: clients talk to it, it answers
@@ -13,8 +13,26 @@
 //                    causal knowledge fast);
 //  * kBursty       — uniform destinations but alternating active/idle
 //                    phases (stale knowledge persists through idleness).
+//
+// Adversarial shapes (the comparison grid's stress row — each targets a
+// known weak spot of the CIC protocols under test):
+//  * kHeavyTail    — Pareto-distributed fan-out: mostly unicast, rare bursts
+//                    to many peers at once (a gossip storm spreads one
+//                    process's stale clock everywhere in one step);
+//  * kTokenBucket  — sends gated by a per-process token bucket refilled in
+//                    simulated time: drained buckets silence a process while
+//                    its peers advance, then a full bucket releases a
+//                    clustered burst (long asymmetric silence is exactly
+//                    what makes index-based/clock conditions fire);
+//  * kHotspot      — most traffic aims at process 0: the hotspot's knowledge
+//                    races ahead while the spokes exchange nothing directly,
+//                    maximizing knowledge imbalance;
+//  * kCascade      — deterministic left/right neighbor alternation: adjacent
+//                    pairs exchange crossing messages with checkpoints in
+//                    between — the domino pattern of Figure 2, statistically.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,7 +44,30 @@
 
 namespace rdtgc::workload {
 
-enum class WorkloadKind { kUniform, kRing, kClientServer, kBroadcast, kBursty };
+enum class WorkloadKind {
+  kUniform,
+  kRing,
+  kClientServer,
+  kBroadcast,
+  kBursty,
+  kHeavyTail,
+  kTokenBucket,
+  kHotspot,
+  kCascade,
+};
+
+/// Every kind, in declaration order — single source for sweeps and tests
+/// (mirrors ckpt::all_protocol_kinds()).
+inline constexpr std::array<WorkloadKind, 9> kAllWorkloadKinds = {
+    WorkloadKind::kUniform,     WorkloadKind::kRing,
+    WorkloadKind::kClientServer, WorkloadKind::kBroadcast,
+    WorkloadKind::kBursty,      WorkloadKind::kHeavyTail,
+    WorkloadKind::kTokenBucket, WorkloadKind::kHotspot,
+    WorkloadKind::kCascade};
+
+constexpr const std::array<WorkloadKind, 9>& all_workload_kinds() {
+  return kAllWorkloadKinds;
+}
 
 std::string workload_kind_name(WorkloadKind kind);
 
@@ -37,8 +78,19 @@ struct WorkloadConfig {
   double broadcast_fraction = 0.1;   ///< kBroadcast: chance of full fan-out
   std::uint64_t burst_length = 20;   ///< kBursty: activities per phase
   std::uint64_t idle_factor = 10;    ///< kBursty: idle gap multiplier
+  double pareto_alpha = 1.5;         ///< kHeavyTail: tail exponent (smaller
+                                     ///  = heavier fan-out tail)
+  double hotspot_fraction = 0.8;     ///< kHotspot: spoke traffic aimed at p0
+  double bucket_rate = 0.4;          ///< kTokenBucket: tokens per mean_gap
+  std::uint64_t bucket_capacity = 8; ///< kTokenBucket: burst size cap
   std::uint64_t seed = 42;
 };
+
+/// Validates EVERY field of `config` (precondition checks; throws
+/// util::ContractViolation).  The single authority — both driver
+/// constructors call it, and new shape parameters must be covered here so
+/// they cannot drift unchecked.
+void validate(const WorkloadConfig& config);
 
 /// Restart-safe process accessor (harness::System::node_provider): the
 /// driver resolves the CURRENT Node of p at every activity, so a process
@@ -63,6 +115,8 @@ class WorkloadDriver {
  private:
   void schedule_activity(std::size_t p, SimTime until);
   void perform_activity(std::size_t p);
+  void heavy_tail_fan_out(std::size_t p, ckpt::Node& node);
+  bool take_token(std::size_t p);
   ProcessId pick_destination(std::size_t p);
   ckpt::Node& node_at(std::size_t p);
 
@@ -72,8 +126,10 @@ class WorkloadDriver {
   std::size_t process_count_;
   WorkloadConfig config_;
   std::vector<util::Rng> rng_;            // per process
-  std::vector<std::uint64_t> phase_pos_;  // kBursty bookkeeping
+  std::vector<std::uint64_t> phase_pos_;  // kBursty/kCascade bookkeeping
   std::vector<ProcessId> rr_next_;        // kClientServer round robin
+  std::vector<double> tokens_;            // kTokenBucket: current fill
+  std::vector<SimTime> last_refill_;      // kTokenBucket: last refill time
   std::uint64_t activities_ = 0;
 };
 

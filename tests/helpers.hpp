@@ -189,6 +189,10 @@ struct RunSpec {
   /// Stable-storage backend of every process (persistent kinds need a
   /// directory, e.g. from a ScratchDir).
   ckpt::StorageConfig storage;
+  /// Base workload config: shape knobs (pareto_alpha, hotspot_fraction,
+  /// bucket_rate, ...) are taken from here; kind, seed and
+  /// checkpoint_probability are overridden by the fields above.
+  workload::WorkloadConfig wl;
 };
 
 inline std::unique_ptr<harness::System> run_workload(const RunSpec& spec) {
@@ -201,7 +205,7 @@ inline std::unique_ptr<harness::System> run_workload(const RunSpec& spec) {
   config.node.storage = spec.storage;
   auto system = std::make_unique<harness::System>(config);
 
-  workload::WorkloadConfig wl;
+  workload::WorkloadConfig wl = spec.wl;
   wl.kind = spec.workload;
   wl.seed = spec.seed * 7919 + 13;
   wl.checkpoint_probability = spec.checkpoint_probability;

@@ -1,12 +1,16 @@
-// Checkpointing-protocol tests: forced-checkpoint predicates (unit) and the
-// RDT guarantee (property, against the zigzag oracle).
+// Checkpointing-protocol tests: forced-checkpoint predicates (unit), the
+// RDT / Z-cycle-freedom guarantees (property, against the zigzag oracle),
+// and counterexample pins for every guarantee a protocol does NOT give.
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
+#include "ccp/zigzag.hpp"
 #include "ckpt/protocol.hpp"
 #include "harness/figures.hpp"
 #include "helpers.hpp"
+#include "util/check.hpp"
 
 namespace rdtgc {
 namespace {
@@ -18,55 +22,188 @@ causality::DependencyVector dv2(IntervalIndex a, IntervalIndex b) {
   return dv;
 }
 
+/// Message as seen by a receiver's must_force: piggybacked DV + the sending
+/// protocol's control words.
+sim::Message msg2(IntervalIndex a, IntervalIndex b,
+                  std::vector<sim::ControlWord> control = {}) {
+  sim::Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.dv = dv2(a, b);
+  m.control = std::move(control);
+  return m;
+}
+
+/// Kinds whose instances claim `rdt` (or, for zcf, Z-cycle freedom) — the
+/// parameterized sweeps derive their rosters from the protocols' own claims,
+/// so a new kind is swept automatically.
+std::vector<ckpt::ProtocolKind> kinds_claiming(bool rdt) {
+  std::vector<ckpt::ProtocolKind> out;
+  for (const auto kind : ckpt::all_protocol_kinds()) {
+    const auto protocol = ckpt::make_protocol(kind);
+    if (rdt ? protocol->ensures_rdt() : protocol->ensures_no_useless())
+      out.push_back(kind);
+  }
+  return out;
+}
+
 TEST(ProtocolPredicates, UncoordinatedNeverForces) {
   const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kUncoordinated);
-  EXPECT_FALSE(protocol->must_force(dv2(0, 0), dv2(5, 5), true));
+  EXPECT_FALSE(protocol->must_force(dv2(0, 0), msg2(5, 5), true));
   EXPECT_FALSE(protocol->ensures_rdt());
+  EXPECT_FALSE(protocol->ensures_no_useless());
   EXPECT_EQ(protocol->name(), "uncoordinated");
 }
 
 TEST(ProtocolPredicates, FdiForcesOnAnyNewDependency) {
   const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kFdi);
-  EXPECT_TRUE(protocol->must_force(dv2(1, 0), dv2(0, 1), false));
-  EXPECT_TRUE(protocol->must_force(dv2(1, 0), dv2(0, 1), true));
-  EXPECT_FALSE(protocol->must_force(dv2(1, 1), dv2(0, 1), true));  // stale msg
+  EXPECT_TRUE(protocol->must_force(dv2(1, 0), msg2(0, 1), false));
+  EXPECT_TRUE(protocol->must_force(dv2(1, 0), msg2(0, 1), true));
+  EXPECT_FALSE(protocol->must_force(dv2(1, 1), msg2(0, 1), true));  // stale msg
   EXPECT_TRUE(protocol->ensures_rdt());
+  EXPECT_TRUE(protocol->ensures_no_useless());  // RDT implies ZCF
 }
 
 TEST(ProtocolPredicates, FdasForcesOnlyAfterSend) {
   // The paper's Algorithm 4, with the `forced <- sent` reading (DESIGN.md
   // documents the pseudocode discrepancy).
   const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kFdas);
-  EXPECT_FALSE(protocol->must_force(dv2(1, 0), dv2(0, 1), false));
-  EXPECT_TRUE(protocol->must_force(dv2(1, 0), dv2(0, 1), true));
-  EXPECT_FALSE(protocol->must_force(dv2(1, 1), dv2(0, 1), true));
+  EXPECT_FALSE(protocol->must_force(dv2(1, 0), msg2(0, 1), false));
+  EXPECT_TRUE(protocol->must_force(dv2(1, 0), msg2(0, 1), true));
+  EXPECT_FALSE(protocol->must_force(dv2(1, 1), msg2(0, 1), true));
 }
 
 TEST(ProtocolPredicates, MrsForcesOnAnyReceiveAfterSend) {
   const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kMrs);
-  EXPECT_TRUE(protocol->must_force(dv2(1, 1), dv2(0, 1), true));  // even stale
-  EXPECT_FALSE(protocol->must_force(dv2(1, 0), dv2(0, 1), false));
+  EXPECT_TRUE(protocol->must_force(dv2(1, 1), msg2(0, 1), true));  // even stale
+  EXPECT_FALSE(protocol->must_force(dv2(1, 0), msg2(0, 1), false));
+}
+
+TEST(ProtocolPredicates, DvOnlyFamilyPiggybacksNothing) {
+  for (const auto kind :
+       {ckpt::ProtocolKind::kUncoordinated, ckpt::ProtocolKind::kFdi,
+        ckpt::ProtocolKind::kFdas, ckpt::ProtocolKind::kMrs}) {
+    const auto protocol = ckpt::make_protocol(kind);
+    protocol->initialize(0, 4);
+    EXPECT_EQ(protocol->control_words(), 0u) << protocol->name();
+    std::vector<sim::ControlWord> out;
+    protocol->on_send(1, out);
+    EXPECT_TRUE(out.empty()) << protocol->name();
+  }
+}
+
+TEST(ProtocolPredicates, BcsForcesIffMessageClockAhead) {
+  const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kBcs);
+  protocol->initialize(0, 2);
+  EXPECT_EQ(protocol->control_words(), 1u);
+
+  std::vector<sim::ControlWord> out;
+  protocol->on_send(1, out);
+  EXPECT_EQ(out, std::vector<sim::ControlWord>{0});  // clock starts at 0
+
+  // The send flag is irrelevant to BCS: only the clock comparison counts.
+  EXPECT_FALSE(protocol->must_force(dv2(0, 0), msg2(0, 1, {0}), true));
+  EXPECT_TRUE(protocol->must_force(dv2(0, 0), msg2(0, 1, {1}), false));
+
+  // A basic checkpoint advances the clock; the same message goes stale.
+  protocol->on_checkpoint(ccp::CheckpointKind::kBasic);
+  EXPECT_FALSE(protocol->must_force(dv2(1, 0), msg2(0, 1, {1}), true));
+
+  // Delivery merges: the next send piggybacks the learned clock.
+  protocol->on_deliver(msg2(0, 1, {5}));
+  out.clear();
+  protocol->on_send(1, out);
+  EXPECT_EQ(out, std::vector<sim::ControlWord>{5});
+
+  EXPECT_FALSE(protocol->ensures_rdt());
+  EXPECT_TRUE(protocol->ensures_no_useless());
+}
+
+TEST(ProtocolPredicates, FiSkipsTheForceBeforeTheFirstSend) {
+  const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kFi);
+  protocol->initialize(0, 2);
+  EXPECT_EQ(protocol->control_words(), 1u);
+
+  // Clock ahead, nothing sent this interval: BCS would force, FI skips —
+  // safely, because on_deliver Lamport-merges the clock anyway.
+  EXPECT_FALSE(protocol->must_force(dv2(0, 0), msg2(0, 1, {3}), false));
+  EXPECT_TRUE(protocol->must_force(dv2(0, 0), msg2(0, 1, {3}), true));
+
+  protocol->on_deliver(msg2(0, 1, {3}));
+  EXPECT_FALSE(protocol->must_force(dv2(0, 1), msg2(0, 1, {3}), true));
+  std::vector<sim::ControlWord> out;
+  protocol->on_send(1, out);
+  EXPECT_EQ(out, std::vector<sim::ControlWord>{3});  // merged without a force
+
+  EXPECT_FALSE(protocol->ensures_rdt());
+  EXPECT_TRUE(protocol->ensures_no_useless());
+}
+
+TEST(ProtocolPredicates, FineSkipsOnFresherCheckpointKnowledge) {
+  const auto protocol = ckpt::make_protocol(ckpt::ProtocolKind::kFine);
+  protocol->initialize(0, 2);
+  EXPECT_EQ(protocol->control_words(), 3u);  // [lc, ckpt_0, ckpt_1]
+
+  protocol->on_checkpoint(ccp::CheckpointKind::kInitial);  // ckpt_0 -> 1
+  std::vector<sim::ControlWord> out;
+  protocol->on_send(1, out);  // marks peer 1 as sent-to
+  EXPECT_EQ(out, (std::vector<sim::ControlWord>{0, 1, 0}));
+
+  // Clock ahead + we sent to p1 + no fresher knowledge of p1's checkpoints:
+  // the FI condition stands, FINE forces.
+  EXPECT_TRUE(protocol->must_force(dv2(0, 0), msg2(0, 1, {1, 0, 0}), true));
+  // Same message but claiming a NEWER checkpoint of p1: FINE skips — the
+  // flawed weakening (Garcia et al.); see the UselessCheckpoint pin below.
+  EXPECT_FALSE(protocol->must_force(dv2(0, 0), msg2(0, 1, {1, 0, 1}), true));
+
+  EXPECT_FALSE(protocol->ensures_rdt());
+  EXPECT_FALSE(protocol->ensures_no_useless());
 }
 
 TEST(ProtocolPredicates, KindNames) {
   EXPECT_EQ(ckpt::protocol_kind_name(ckpt::ProtocolKind::kFdi), "FDI");
   EXPECT_EQ(ckpt::protocol_kind_name(ckpt::ProtocolKind::kFdas), "FDAS");
   EXPECT_EQ(ckpt::protocol_kind_name(ckpt::ProtocolKind::kMrs), "MRS");
+  EXPECT_EQ(ckpt::protocol_kind_name(ckpt::ProtocolKind::kBcs), "BCS");
+  EXPECT_EQ(ckpt::protocol_kind_name(ckpt::ProtocolKind::kFi), "FI");
+  EXPECT_EQ(ckpt::protocol_kind_name(ckpt::ProtocolKind::kFine), "FINE");
+}
+
+TEST(ProtocolPredicates, KindRosterCoversEveryKindExactlyOnce) {
+  // Pins the roster size so adding a ProtocolKind without extending
+  // kAllProtocolKinds fails here (make_protocol's no-default switch already
+  // catches the reverse omission at compile time via -Wswitch).
+  EXPECT_EQ(ckpt::all_protocol_kinds().size(), 7u);
+  for (const auto kind : ckpt::all_protocol_kinds()) {
+    const auto protocol = ckpt::make_protocol(kind);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_FALSE(protocol->name().empty());
+    EXPECT_EQ(ckpt::protocol_kind_name(kind), protocol->name());
+  }
+}
+
+TEST(ProtocolPredicates, MakeProtocolThrowsOnUnhandledKind) {
+  // A kind value outside the enumeration must not fall through to a silent
+  // default; the factory names the offender.
+  EXPECT_THROW(ckpt::make_protocol(static_cast<ckpt::ProtocolKind>(999)),
+               util::ContractViolation);
 }
 
 // The RDT protocols must produce RD-trackable CCPs on arbitrary workloads;
-// checked against the zigzag/causal oracles.
-using RdtParam = std::tuple<ckpt::ProtocolKind, workload::WorkloadKind,
-                            std::size_t, std::uint64_t>;
+// checked against the zigzag/causal oracles.  The Z-cycle-free family
+// (superset: RDT implies ZCF) must never leave a useless checkpoint.
+using GuaranteeParam = std::tuple<ckpt::ProtocolKind, workload::WorkloadKind,
+                                  std::size_t, std::uint64_t>;
 
-std::string rdt_param_name(const ::testing::TestParamInfo<RdtParam>& info) {
+std::string guarantee_param_name(
+    const ::testing::TestParamInfo<GuaranteeParam>& info) {
   const auto [p, w, n, s] = info.param;
   return test::sanitize(ckpt::protocol_kind_name(p) + "_" +
                         workload::workload_kind_name(w) + "_n" +
                         std::to_string(n) + "_s" + std::to_string(s));
 }
 
-class RdtGuarantee : public ::testing::TestWithParam<RdtParam> {};
+class RdtGuarantee : public ::testing::TestWithParam<GuaranteeParam> {};
 
 TEST_P(RdtGuarantee, CcpIsRdTrackable) {
   const auto [protocol, kind, n, seed] = GetParam();
@@ -84,15 +221,43 @@ TEST_P(RdtGuarantee, CcpIsRdTrackable) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RdtGuarantee,
     ::testing::Combine(
-        ::testing::Values(ckpt::ProtocolKind::kFdi, ckpt::ProtocolKind::kFdas,
-                          ckpt::ProtocolKind::kMrs),
+        ::testing::ValuesIn(kinds_claiming(/*rdt=*/true)),
         ::testing::Values(workload::WorkloadKind::kUniform,
                           workload::WorkloadKind::kRing,
                           workload::WorkloadKind::kBroadcast,
                           workload::WorkloadKind::kBursty),
         ::testing::Values(std::size_t{3}, std::size_t{6}),
         ::testing::Values(std::uint64_t{7}, std::uint64_t{1234})),
-    rdt_param_name);
+    guarantee_param_name);
+
+class ZcfGuarantee : public ::testing::TestWithParam<GuaranteeParam> {};
+
+TEST_P(ZcfGuarantee, NoUselessCheckpoints) {
+  const auto [protocol, kind, n, seed] = GetParam();
+  test::RunSpec spec;
+  spec.protocol = protocol;
+  spec.workload = kind;
+  spec.n = n;
+  spec.seed = seed;
+  spec.duration = 1500;
+  spec.gc = harness::GcChoice::kNone;
+  auto system = test::run_workload(spec);
+  const ccp::ZigzagAnalysis zigzag(system->recorder());
+  EXPECT_TRUE(zigzag.useless_stable_checkpoints().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZcfGuarantee,
+    ::testing::Combine(
+        ::testing::ValuesIn(kinds_claiming(/*rdt=*/false)),
+        ::testing::Values(workload::WorkloadKind::kUniform,
+                          workload::WorkloadKind::kBroadcast,
+                          workload::WorkloadKind::kBursty,
+                          workload::WorkloadKind::kHotspot,
+                          workload::WorkloadKind::kCascade),
+        ::testing::Values(std::size_t{3}, std::size_t{6}),
+        ::testing::Values(std::uint64_t{7}, std::uint64_t{1234})),
+    guarantee_param_name);
 
 TEST(RdtGuarantee, HoldsUnderMessageLossAndReordering) {
   for (const auto protocol :
@@ -138,6 +303,67 @@ TEST(ForcedCheckpointCost, UncoordinatedProducesUselessCheckpointsSomewhere) {
   auto scenario = harness::figures::figure2(ckpt::ProtocolKind::kUncoordinated);
   const ccp::ZigzagAnalysis zigzag(scenario->recorder());
   EXPECT_FALSE(zigzag.useless_stable_checkpoints().empty());
+}
+
+// ---- Counterexample pins --------------------------------------------------
+//
+// Where a protocol's guarantee deliberately STOPS, pin a concrete witness so
+// the boundary is executable documentation: if a future change accidentally
+// strengthens (or weakens) a protocol, one of these flips and says so.
+
+/// One fixed run: the seed-1 uniform workload on 3 processes, GC off.  Both
+/// pins below ran a seed search over (workload × n × seed) and this very
+/// first cell already witnesses each boundary.
+std::unique_ptr<harness::System> pin_run(ckpt::ProtocolKind protocol) {
+  test::RunSpec spec;
+  spec.n = 3;
+  spec.protocol = protocol;
+  spec.workload = workload::WorkloadKind::kUniform;
+  spec.seed = 1;
+  spec.duration = 2500;
+  spec.gc = harness::GcChoice::kNone;
+  return test::run_workload(spec);
+}
+
+TEST(GuaranteeBoundary, BcsAndFiAreNotRdt) {
+  // BCS and FI guarantee Z-cycle freedom, NOT RD-trackability: a zigzag
+  // path that is not causally doubled survives (so the paper's
+  // timestamp-only collector must not be run on their patterns — the zoo
+  // grid and tabc derive their rosters from ensures_rdt() for exactly this
+  // reason).
+  for (const auto protocol :
+       {ckpt::ProtocolKind::kBcs, ckpt::ProtocolKind::kFi}) {
+    auto system = pin_run(protocol);
+    const ccp::CausalGraph causal(system->recorder());
+    const ccp::ZigzagAnalysis zigzag(system->recorder());
+    EXPECT_TRUE(ccp::check_rdt(system->recorder(), causal, zigzag).has_value())
+        << ckpt::protocol_kind_name(protocol)
+        << ": expected a non-doubled zigzag path on the pinned run";
+    // The weaker claim they DO make holds on the same run.
+    EXPECT_TRUE(zigzag.useless_stable_checkpoints().empty())
+        << ckpt::protocol_kind_name(protocol);
+  }
+}
+
+TEST(GuaranteeBoundary, FineLeavesUselessCheckpoints) {
+  // FINE's skip heuristic ("the message brings fresher checkpoint knowledge
+  // of every peer I sent to") suppresses forced checkpoints that BCS/FI
+  // would take — and the pinned run shows the cost: Z-cycles survive, so
+  // useless stable checkpoints exist.  This is the documented flaw of the
+  // FINE reading (Garcia et al.), kept deliberately as the zoo's negative
+  // specimen; ensures_no_useless() correctly returns false for it.
+  auto system = pin_run(ckpt::ProtocolKind::kFine);
+  const ccp::ZigzagAnalysis zigzag(system->recorder());
+  EXPECT_FALSE(zigzag.useless_stable_checkpoints().empty());
+  // And the skip actually fires: FINE forces less than FI on the same
+  // workload (otherwise the heuristic would be dead code).
+  auto fi = pin_run(ckpt::ProtocolKind::kFi);
+  std::uint64_t fine_forced = 0, fi_forced = 0;
+  for (ProcessId p = 0; p < 3; ++p) {
+    fine_forced += system->node(p).counters().forced_checkpoints;
+    fi_forced += fi->node(p).counters().forced_checkpoints;
+  }
+  EXPECT_LT(fine_forced, fi_forced);
 }
 
 }  // namespace

@@ -89,6 +89,34 @@ TEST(WireRoundTrip, Data) {
   EXPECT_EQ(f.data.send_interval, 17);
   EXPECT_EQ(f.data.bytes, 0xDEADBEEFCAFEULL);
   EXPECT_EQ(f.data.dv, b.dv);
+  EXPECT_TRUE(f.data.control.empty());
+}
+
+TEST(WireRoundTrip, DataControlWordEdgeVectors) {
+  // The v3 protocol payload: every control-width corner the zoo produces —
+  // none (DV-only family), one word (BCS/FI), n+1 (FINE), and the wire cap.
+  WireBuffer buf;
+  DecodedFrame f;
+  for (const auto& control : std::vector<std::vector<std::uint32_t>>{
+           {},
+           {0},
+           {0xFFFFFFFFu},
+           {7, 0, 1, 2, 3},
+           std::vector<std::uint32_t>(kMaxControlWords, 0xA5A5A5A5u),
+       }) {
+    DataBody b;
+    b.send_interval = 3;
+    b.bytes = 11;
+    b.dv = {1, 2, 3};
+    b.control = control;
+    const FrameMeta m = meta(0, 2, 1, 9);
+    encode_data(buf, m, b);
+    ASSERT_EQ(decode_frame(buf, f), WireError::kOk)
+        << control.size() << " control words";
+    expect_header(f, FrameKind::kData, m);
+    EXPECT_EQ(f.data.dv, b.dv);
+    EXPECT_EQ(f.data.control, control);
+  }
 }
 
 TEST(WireRoundTrip, RecvAck) {
@@ -319,24 +347,57 @@ WireBuffer rolled_back_frame() {
   return buf;
 }
 
+/// A Data frame exactly as a v1/v2 peer would emit it: the v3 encoder's
+/// trailing control section stripped (the empty-count u32), length re-sealed
+/// and the version re-stamped.
+WireBuffer downgraded_data_frame(std::uint8_t version) {
+  WireBuffer buf;
+  DataBody b;
+  b.send_interval = 4;
+  b.bytes = 9;
+  b.dv = {1, 2, 3};
+  encode_data(buf, meta(0, 1, 0, 3), b);
+  buf.resize(buf.size() - 4);  // drop the (empty) control-count field
+  patch_u32(buf, 4, static_cast<std::uint32_t>(buf.size()));
+  buf[8] = version;  // version low byte; high is 0
+  return buf;
+}
+
 // Backward compatibility: a frame produced by a version-1 peer (every
-// pre-recovery kind) still decodes under the version-2 codec — total
-// decoding is preserved across the bump.
+// pre-recovery kind) still decodes under the current codec — total decoding
+// is preserved across the bumps.
 TEST(WireCompat, Version1FramesStillDecode) {
   DecodedFrame f;
-  for (WireBuffer frame :
-       {sample_frame(), [] {
-          WireBuffer buf;
-          DataBody b;
-          b.send_interval = 4;
-          b.bytes = 9;
-          b.dv = {1, 2, 3};
-          encode_data(buf, meta(0, 1, 0, 3), b);
-          return buf;
-        }()}) {
-    frame[8] = 1;  // re-stamp as a v1 frame (version low byte; high is 0)
-    EXPECT_EQ(decode_frame(frame, f), WireError::kOk);
+  WireBuffer frame = sample_frame();
+  frame[8] = 1;  // re-stamp as a v1 frame (version low byte; high is 0)
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOk);
+  EXPECT_EQ(decode_frame(downgraded_data_frame(1), f), WireError::kOk);
+}
+
+// A v1/v2 Data frame has no control section: it must decode with an EMPTY
+// control vector even when the reused DecodedFrame still holds words from a
+// previous v3 decode — and a v3 frame without the section is kTruncated.
+TEST(WireCompat, PreV3DataDecodesWithoutControlWords) {
+  DecodedFrame f;
+  DataBody b;
+  b.send_interval = 1;
+  b.bytes = 2;
+  b.dv = {5, 6};
+  b.control = {41, 42};
+  WireBuffer v3;
+  encode_data(v3, meta(1, 0, 0, 8), b);
+  ASSERT_EQ(decode_frame(v3, f), WireError::kOk);
+  ASSERT_EQ(f.data.control, b.control);  // f now holds stale words
+
+  for (const std::uint8_t version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    EXPECT_EQ(decode_frame(downgraded_data_frame(version), f), WireError::kOk);
+    EXPECT_TRUE(f.data.control.empty()) << "version " << int{version};
   }
+
+  // The same bytes stamped v3 lack the mandatory control count.
+  WireBuffer bad = downgraded_data_frame(3);
+  DecodedFrame g;
+  EXPECT_EQ(decode_frame(bad, g), WireError::kTruncated);
 }
 
 // The recovery kinds (8, 9) did not exist in version 1: a v1 frame claiming
@@ -458,6 +519,46 @@ TEST(WireReject, HugeCountDoesNotOverflow) {
   EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
 }
 
+WireBuffer data_control_frame() {
+  WireBuffer buf;
+  DataBody b;
+  b.send_interval = 2;
+  b.bytes = 64;
+  b.dv = {1, 2, 3};
+  b.control = {7, 8};
+  encode_data(buf, meta(2, 0, 1, 12), b);
+  return buf;
+}
+
+TEST(WireReject, DataTamperedControlCount) {
+  // Data payload: i32 send_interval, u64 bytes, dv count + entries, then
+  // the v3 control count.
+  const std::size_t control_count_at = kWireHeaderBytes + 16 + 4 * 3;
+  DecodedFrame f;
+  WireBuffer frame = data_control_frame();
+  ASSERT_EQ(decode_frame(frame, f), WireError::kOk);  // offset sanity
+
+  frame = data_control_frame();
+  patch_u32(frame, control_count_at,
+            static_cast<std::uint32_t>(kMaxControlWords) + 1);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
+
+  // Overflow-proof: count * 4 wraps 32 bits.
+  frame = data_control_frame();
+  patch_u32(frame, control_count_at, 0xFFFFFFFFu);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kOverlong);
+
+  // Claims more words than the frame holds.
+  frame = data_control_frame();
+  patch_u32(frame, control_count_at, 3);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kTruncated);
+
+  // Claims fewer: the surplus word is trailing garbage, not silently kept.
+  frame = data_control_frame();
+  patch_u32(frame, control_count_at, 1);
+  EXPECT_EQ(decode_frame(frame, f), WireError::kTrailing);
+}
+
 TEST(WireReject, OverMaxFrameBytes) {
   WireBuffer frame(kMaxFrameBytes + 1, 0);
   DecodedFrame f;
@@ -479,10 +580,12 @@ TEST(WireFuzz, RandomGarbageNeverCrashes) {
 }
 
 TEST(WireFuzz, BitFlippedValidFramesNeverCrash) {
-  // Corpus: one v1-era frame plus both recovery-session frames, so the
-  // mutations cover the version-gated decode paths too.
+  // Corpus: one v1-era frame, both recovery-session frames, and a
+  // control-bearing v3 Data frame, so the mutations cover the
+  // version-gated decode paths too.
   const std::vector<WireBuffer> corpus = {
-      sample_frame(), recovery_start_frame(), rolled_back_frame()};
+      sample_frame(), recovery_start_frame(), rolled_back_frame(),
+      data_control_frame()};
   std::mt19937_64 rng(4242);
   std::uniform_int_distribution<int> byte(0, 255);
   DecodedFrame f;
@@ -510,6 +613,8 @@ TEST(WireFuzz, RandomFramesRoundTrip) {
     b.bytes = rng();
     b.dv.resize(width(rng));
     for (auto& x : b.dv) x = entry(rng);
+    b.control.resize(width(rng));
+    for (auto& x : b.control) x = static_cast<std::uint32_t>(rng());
     const FrameMeta m = meta(static_cast<ProcessId>(rng() % 4096),
                              static_cast<ProcessId>(rng() % 4096),
                              static_cast<std::uint32_t>(rng()), rng());
@@ -519,6 +624,7 @@ TEST(WireFuzz, RandomFramesRoundTrip) {
     EXPECT_EQ(f.data.send_interval, b.send_interval);
     EXPECT_EQ(f.data.bytes, b.bytes);
     ASSERT_EQ(f.data.dv, b.dv);
+    ASSERT_EQ(f.data.control, b.control);
   }
 }
 

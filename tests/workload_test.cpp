@@ -1,6 +1,9 @@
 // Workload-generator tests: communication shapes, determinism, rates.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "helpers.hpp"
 #include "util/check.hpp"
 #include "workload/workload.hpp"
@@ -15,6 +18,56 @@ TEST(Workload, KindNames) {
   EXPECT_EQ(workload_kind_name(WorkloadKind::kClientServer), "client-server");
   EXPECT_EQ(workload_kind_name(WorkloadKind::kBroadcast), "broadcast");
   EXPECT_EQ(workload_kind_name(WorkloadKind::kBursty), "bursty");
+  EXPECT_EQ(workload_kind_name(WorkloadKind::kHeavyTail), "heavy-tail");
+  EXPECT_EQ(workload_kind_name(WorkloadKind::kTokenBucket), "token-bucket");
+  EXPECT_EQ(workload_kind_name(WorkloadKind::kHotspot), "hotspot");
+  EXPECT_EQ(workload_kind_name(WorkloadKind::kCascade), "cascade");
+}
+
+TEST(Workload, KindRosterCoversEveryKindExactlyOnce) {
+  const auto& kinds = workload::all_workload_kinds();
+  EXPECT_EQ(kinds.size(), 9u);
+  std::set<std::string> names;
+  for (const auto kind : kinds)
+    EXPECT_TRUE(names.insert(workload::workload_kind_name(kind)).second)
+        << "duplicate kind in roster";
+}
+
+TEST(Workload, KindNameThrowsOnOutOfRangeKind) {
+  EXPECT_THROW(
+      workload::workload_kind_name(static_cast<workload::WorkloadKind>(99)),
+      util::ContractViolation);
+}
+
+// Satellite: one validate() covers every config field — each bad value is
+// rejected by BOTH constructors through the shared path.
+TEST(Workload, ValidateRejectsEveryBadField) {
+  harness::SystemConfig sys_config;
+  sys_config.process_count = 3;
+  harness::System system(sys_config);
+  auto expect_rejected = [&](auto&& poison) {
+    workload::WorkloadConfig wl;
+    poison(wl);
+    EXPECT_THROW(workload::validate(wl), util::ContractViolation);
+    EXPECT_THROW(workload::WorkloadDriver(system.simulator(),
+                                          system.node_ptrs(), wl),
+                 util::ContractViolation);
+  };
+  expect_rejected([](auto& wl) { wl.mean_gap = 0; });
+  expect_rejected([](auto& wl) { wl.checkpoint_probability = -0.1; });
+  expect_rejected([](auto& wl) { wl.checkpoint_probability = 1.5; });
+  expect_rejected([](auto& wl) { wl.broadcast_fraction = -0.5; });
+  expect_rejected([](auto& wl) { wl.broadcast_fraction = 2.0; });
+  expect_rejected([](auto& wl) { wl.burst_length = 0; });
+  expect_rejected([](auto& wl) { wl.idle_factor = 0; });
+  expect_rejected([](auto& wl) { wl.pareto_alpha = 0.0; });
+  expect_rejected([](auto& wl) { wl.pareto_alpha = -1.0; });
+  expect_rejected([](auto& wl) { wl.hotspot_fraction = -0.1; });
+  expect_rejected([](auto& wl) { wl.hotspot_fraction = 1.1; });
+  expect_rejected([](auto& wl) { wl.bucket_rate = 0.0; });
+  expect_rejected([](auto& wl) { wl.bucket_capacity = 0; });
+  // The defaults themselves must pass.
+  EXPECT_NO_THROW(workload::validate(workload::WorkloadConfig{}));
 }
 
 TEST(Workload, RingSendsOnlyToSuccessor) {
@@ -69,6 +122,81 @@ TEST(Workload, BroadcastProducesFanOutBursts) {
   EXPECT_GT(sends, uniform_sends);
 }
 
+TEST(Workload, HeavyTailProducesLargerBurstsThanUniform) {
+  auto total_sends = [](workload::WorkloadKind kind) {
+    test::RunSpec spec;
+    spec.workload = kind;
+    spec.n = 6;
+    spec.gc = harness::GcChoice::kNone;
+    spec.duration = 3000;
+    auto system = test::run_workload(spec);
+    std::uint64_t sends = 0;
+    for (ProcessId p = 0; p < 6; ++p)
+      sends += system->node(p).counters().messages_sent;
+    return sends;
+  };
+  // Pareto fan-out inflates the send count per activity well past unicast.
+  EXPECT_GT(total_sends(workload::WorkloadKind::kHeavyTail),
+            total_sends(workload::WorkloadKind::kUniform));
+}
+
+TEST(Workload, TokenBucketThrottlesBelowUniform) {
+  auto total_sends = [](workload::WorkloadKind kind) {
+    test::RunSpec spec;
+    spec.workload = kind;
+    spec.n = 4;
+    spec.gc = harness::GcChoice::kNone;
+    spec.duration = 4000;
+    spec.wl.bucket_rate = 0.3;  // refill slower than the activity rate
+    spec.wl.bucket_capacity = 2;
+    auto system = test::run_workload(spec);
+    std::uint64_t sends = 0;
+    for (ProcessId p = 0; p < 4; ++p)
+      sends += system->node(p).counters().messages_sent;
+    return sends;
+  };
+  const std::uint64_t throttled =
+      total_sends(workload::WorkloadKind::kTokenBucket);
+  EXPECT_GT(throttled, 0u);
+  EXPECT_LT(throttled, total_sends(workload::WorkloadKind::kUniform));
+}
+
+TEST(Workload, HotspotConcentratesTrafficOnProcessZero) {
+  test::RunSpec spec;
+  spec.workload = workload::WorkloadKind::kHotspot;
+  spec.n = 6;
+  spec.gc = harness::GcChoice::kNone;
+  spec.duration = 4000;
+  spec.wl.hotspot_fraction = 0.9;
+  auto system = test::run_workload(spec);
+  std::uint64_t to_hotspot = 0, elsewhere = 0;
+  for (const auto& m : system->recorder().messages()) {
+    if (m.send_serial == 0) continue;
+    if (m.src == 0) continue;  // the hotspot's own replies go anywhere
+    (m.dst == 0 ? to_hotspot : elsewhere) += 1;
+  }
+  EXPECT_GT(to_hotspot, elsewhere * 2)
+      << "hotspot_fraction=0.9 should aim most spoke traffic at p0";
+}
+
+TEST(Workload, CascadeSendsOnlyToAdjacentNeighbors) {
+  test::RunSpec spec;
+  spec.workload = workload::WorkloadKind::kCascade;
+  spec.n = 5;
+  spec.gc = harness::GcChoice::kNone;
+  auto system = test::run_workload(spec);
+  std::uint64_t seen = 0;
+  for (const auto& m : system->recorder().messages()) {
+    if (m.send_serial == 0) continue;
+    const bool right = m.dst == (m.src + 1) % 5;
+    const bool left = m.dst == (m.src + 4) % 5;
+    EXPECT_TRUE(right || left)
+        << "cascade message " << m.src << " -> " << m.dst;
+    ++seen;
+  }
+  EXPECT_GT(seen, 0u);
+}
+
 TEST(Workload, DeterministicPerSeed) {
   auto signature = [](std::uint64_t seed) {
     test::RunSpec spec;
@@ -83,6 +211,25 @@ TEST(Workload, DeterministicPerSeed) {
   };
   EXPECT_EQ(signature(10), signature(10));
   EXPECT_NE(signature(10), signature(11));
+}
+
+TEST(Workload, EveryKindIsDeterministicPerSeed) {
+  auto signature = [](workload::WorkloadKind kind, std::uint64_t seed) {
+    test::RunSpec spec;
+    spec.workload = kind;
+    spec.seed = seed;
+    spec.duration = 2000;
+    spec.gc = harness::GcChoice::kRdtLgc;
+    auto system = test::run_workload(spec);
+    return std::make_tuple(system->network().stats().sent,
+                           system->network().stats().delivered,
+                           system->recorder().stats().checkpoints_recorded,
+                           system->simulator().events_processed());
+  };
+  for (const auto kind : workload::all_workload_kinds()) {
+    EXPECT_EQ(signature(kind, 3), signature(kind, 3))
+        << workload::workload_kind_name(kind);
+  }
 }
 
 TEST(Workload, CheckpointProbabilityControlsCheckpointRate) {

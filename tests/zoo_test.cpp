@@ -1,0 +1,126 @@
+// The protocol-zoo grid: every (protocol × adversarial workload) cell runs
+// the full stack and audits the protocol's own guarantee claims against the
+// ground-truth oracles.  This is the bounded tier-1 leg (`ctest -L zoo`);
+// the nightly job sets RDTGC_ZOO_FULL=1, which widens the seed set and the
+// horizon (and the separate tabf_protocol_zoo --full bench prints the
+// comparison table).
+//
+// Per cell:
+//  * protocols claiming RDT pass the Definition-4 zigzag audit and run the
+//    paper's collector safely (Theorem-1 audit);
+//  * protocols claiming Z-cycle freedom show zero useless stable
+//    checkpoints;
+//  * every cell yields a computable all-faulty recovery line (rollback
+//    depth is finite and within the lineage);
+//  * re-running a cell with the same seed reproduces the same counters.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ccp/zigzag.hpp"
+#include "ckpt/protocol.hpp"
+#include "helpers.hpp"
+#include "workload/workload.hpp"
+
+namespace rdtgc {
+namespace {
+
+bool zoo_full() {
+  const char* env = std::getenv("RDTGC_ZOO_FULL");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+std::vector<workload::WorkloadKind> zoo_workloads() {
+  if (zoo_full()) {
+    return {workload::all_workload_kinds().begin(),
+            workload::all_workload_kinds().end()};
+  }
+  return {workload::WorkloadKind::kHeavyTail,
+          workload::WorkloadKind::kTokenBucket,
+          workload::WorkloadKind::kHotspot, workload::WorkloadKind::kCascade};
+}
+
+std::vector<std::uint64_t> zoo_seeds() {
+  if (zoo_full()) return {2, 3, 5, 7, 11, 13, 17, 19};
+  return {2, 7};
+}
+
+using ZooParam = std::tuple<ckpt::ProtocolKind, workload::WorkloadKind>;
+
+class ZooGrid : public ::testing::TestWithParam<ZooParam> {};
+
+std::string zoo_param_name(const ::testing::TestParamInfo<ZooParam>& info) {
+  return test::sanitize(
+      std::string(ckpt::protocol_kind_name(std::get<0>(info.param))) + "_" +
+      workload::workload_kind_name(std::get<1>(info.param)));
+}
+
+TEST_P(ZooGrid, ClaimsHoldOnAdversarialWorkloads) {
+  const auto [protocol_kind, workload_kind] = GetParam();
+  const auto claims = ckpt::make_protocol(protocol_kind);
+  for (const std::uint64_t seed : zoo_seeds()) {
+    test::RunSpec spec;
+    spec.n = 4;
+    spec.protocol = protocol_kind;
+    spec.workload = workload_kind;
+    spec.seed = seed;
+    spec.duration = zoo_full() ? 6000 : 2500;
+    // The paper's collector presumes RDT; for the rest, keep everything and
+    // audit the pattern itself.
+    spec.gc = claims->ensures_rdt() ? harness::GcChoice::kRdtLgc
+                                    : harness::GcChoice::kNone;
+    auto system = test::run_workload(spec);
+
+    if (claims->ensures_rdt()) {
+      test::audit_rdt(system->recorder());
+      test::audit_safety_theorem1(*system);
+    }
+    const ccp::ZigzagAnalysis zigzag(system->recorder());
+    if (claims->ensures_no_useless()) {
+      EXPECT_TRUE(zigzag.useless_stable_checkpoints().empty())
+          << claims->name() << " on "
+          << workload::workload_kind_name(workload_kind) << " seed " << seed;
+    }
+    // The all-faulty recovery line exists and stays within each lineage.
+    const std::vector<CheckpointIndex> line =
+        zigzag.recovery_line(std::vector<bool>(spec.n, true));
+    for (ProcessId p = 0; p < static_cast<ProcessId>(spec.n); ++p) {
+      EXPECT_GE(line[static_cast<std::size_t>(p)], 0);
+      EXPECT_LE(line[static_cast<std::size_t>(p)],
+                system->recorder().last_stable(p) + 1);
+    }
+  }
+}
+
+TEST_P(ZooGrid, CellIsDeterministic) {
+  const auto [protocol_kind, workload_kind] = GetParam();
+  auto signature = [&] {
+    test::RunSpec spec;
+    spec.n = 4;
+    spec.protocol = protocol_kind;
+    spec.workload = workload_kind;
+    spec.seed = 23;
+    spec.duration = 2000;
+    spec.gc = harness::GcChoice::kNone;
+    auto system = test::run_workload(spec);
+    std::uint64_t forced = 0;
+    for (ProcessId p = 0; p < 4; ++p)
+      forced += system->node(p).counters().forced_checkpoints;
+    return std::make_tuple(system->network().stats().sent,
+                           system->network().stats().delivered, forced,
+                           system->total_stored());
+  };
+  EXPECT_EQ(signature(), signature());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZooGrid,
+    ::testing::Combine(::testing::ValuesIn(ckpt::all_protocol_kinds()),
+                       ::testing::ValuesIn(zoo_workloads())),
+    zoo_param_name);
+
+}  // namespace
+}  // namespace rdtgc
